@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Blockstm_minimove Blockstm_simexec Blockstm_stats Blockstm_workload Float Harness Interp List Mv_value P2p Printf Rng Runtime Stdlib_contracts Synthetic Value

@@ -1,0 +1,44 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # quick grid, every experiment
+     dune exec bench/main.exe -- fig3 fig5    # selected experiments
+     dune exec bench/main.exe -- --full       # the paper's full grid
+     dune exec bench/main.exe -- micro        # bechamel micro-benches only
+
+   See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+   paper-vs-measured results. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode =
+    if List.mem "--full" args || Sys.getenv_opt "BLOCKSTM_BENCH_FULL" <> None
+    then Blockstm_bench.Experiments.Full
+    else Blockstm_bench.Experiments.Quick
+  in
+  let selected =
+    List.filter (fun a -> a <> "--full") args
+  in
+  let known = List.map (fun (n, _, _) -> n) Blockstm_bench.Experiments.all @ [ "micro" ] in
+  let bad = List.filter (fun a -> not (List.mem a known)) selected in
+  if bad <> [] then begin
+    Fmt.epr "unknown experiment(s): %a@.known: %a@."
+      Fmt.(list ~sep:comma string)
+      bad
+      Fmt.(list ~sep:comma string)
+      known;
+    exit 2
+  end;
+  let want name = selected = [] || List.mem name selected in
+  Fmt.pr
+    "Block-STM benchmark harness (%s grid). Thread-scaling numbers use the \
+     virtual-time executor; see DESIGN.md.@."
+    (match mode with Blockstm_bench.Experiments.Quick -> "quick" | Full -> "full");
+  List.iter
+    (fun (name, descr, f) ->
+      if want name then begin
+        Fmt.pr "@.### %s — %s@." name descr;
+        f mode
+      end)
+    Blockstm_bench.Experiments.all;
+  if want "micro" then Blockstm_bench.Micro.run ()

@@ -1,0 +1,405 @@
+(* blockstm — command-line driver for the Block-STM reproduction.
+
+   Subcommands:
+     run       execute a workload with a chosen executor and verify it
+     sim       virtual-time thread-scaling sweep
+     exp       regenerate the paper's figures/tables (same as bench/main.exe)
+     minimove  compile and run a MiniMove script file
+
+   Examples:
+     blockstm run --workload p2p --accounts 100 --block 1000 --domains 4
+     blockstm sim --workload p2p --accounts 2 --threads 1,4,16,32
+     blockstm exp --id fig3 --full
+     blockstm minimove --file contract.mm --args '@1,@2,10,0' *)
+
+open Cmdliner
+open Blockstm_workload
+
+(* --- Shared argument parsing ---------------------------------------------- *)
+
+type workload_kind =
+  | W_p2p
+  | W_p2p_simplified
+  | W_hotspot
+  | W_independent
+  | W_zipfian
+  | W_read_heavy
+  | W_chain
+  | W_churn
+
+let workload_conv =
+  let parse = function
+    | "p2p" -> Ok W_p2p
+    | "p2p-simplified" -> Ok W_p2p_simplified
+    | "hotspot" -> Ok W_hotspot
+    | "independent" -> Ok W_independent
+    | "zipfian" -> Ok W_zipfian
+    | "read-heavy" -> Ok W_read_heavy
+    | "chain" -> Ok W_chain
+    | "churn" -> Ok W_churn
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf w =
+    Fmt.string ppf
+      (match w with
+      | W_p2p -> "p2p"
+      | W_p2p_simplified -> "p2p-simplified"
+      | W_hotspot -> "hotspot"
+      | W_independent -> "independent"
+      | W_zipfian -> "zipfian"
+      | W_read_heavy -> "read-heavy"
+      | W_chain -> "chain"
+      | W_churn -> "churn")
+  in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv W_p2p
+    & info [ "w"; "workload" ] ~docv:"KIND"
+        ~doc:
+          "Workload: p2p, p2p-simplified, hotspot, independent, zipfian, \
+           read-heavy, chain, churn.")
+
+let accounts_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "a"; "accounts" ] ~docv:"N" ~doc:"Number of accounts.")
+
+let block_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "b"; "block" ] ~docv:"N" ~doc:"Transactions per block.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.9
+    & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew (zipfian workload).")
+
+let build_workload kind ~accounts ~block ~seed ~theta :
+    Synthetic.generated * Ledger.Loc.t array array option =
+  match kind with
+  | W_p2p | W_p2p_simplified ->
+      let flavor =
+        if kind = W_p2p then P2p.Standard else P2p.Simplified
+      in
+      let w =
+        P2p.generate
+          {
+            P2p.default_spec with
+            flavor;
+            num_accounts = accounts;
+            block_size = block;
+            seed;
+          }
+      in
+      ( { Synthetic.storage = w.storage; txns = w.txns;
+          declared_writes = w.declared_writes },
+        Some w.declared_writes )
+  | W_hotspot -> (Synthetic.hotspot ~block_size:block, None)
+  | W_independent -> (Synthetic.independent ~block_size:block, None)
+  | W_zipfian ->
+      let g = Synthetic.zipfian ~block_size:block ~num_accounts:accounts
+          ~theta ~seed in
+      (g, Some g.declared_writes)
+  | W_read_heavy ->
+      ( Synthetic.read_heavy ~block_size:block ~num_accounts:accounts
+          ~reads:16 ~writer_every:4 ~seed,
+        None )
+  | W_chain -> (Synthetic.chain ~block_size:block, None)
+  | W_churn ->
+      (Synthetic.churn ~block_size:block ~num_accounts:accounts ~seed, None)
+
+(* --- run -------------------------------------------------------------------- *)
+
+type executor_kind = E_blockstm | E_sequential | E_bohm | E_litm
+
+let executor_conv =
+  let parse = function
+    | "blockstm" | "bstm" -> Ok E_blockstm
+    | "sequential" | "seq" -> Ok E_sequential
+    | "bohm" -> Ok E_bohm
+    | "litm" -> Ok E_litm
+    | s -> Error (`Msg (Printf.sprintf "unknown executor %S" s))
+  in
+  let print ppf e =
+    Fmt.string ppf
+      (match e with
+      | E_blockstm -> "blockstm"
+      | E_sequential -> "sequential"
+      | E_bohm -> "bohm"
+      | E_litm -> "litm")
+  in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let executor =
+    Arg.(
+      value & opt executor_conv E_blockstm
+      & info [ "e"; "executor" ] ~docv:"EXEC"
+          ~doc:"Executor: blockstm, sequential, bohm, litm.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "d"; "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let suspend =
+    Arg.(
+      value & flag
+      & info [ "suspend-resume" ]
+          ~doc:"Enable effect-handler suspend/resume on dependencies.")
+  in
+  let no_estimates =
+    Arg.(
+      value & flag
+      & info [ "no-estimates" ]
+          ~doc:"Ablation: remove aborted writes instead of ESTIMATE markers.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Also run the sequential executor and compare results.")
+  in
+  let action workload accounts block seed theta executor domains suspend
+      no_estimates verify =
+    let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
+    let n = Array.length g.txns in
+    let time f =
+      let r, ns = Blockstm_stats.Clock.time_ns f in
+      (r, Blockstm_stats.Clock.tps ~txns:n ~elapsed_ns:ns)
+    in
+    let snapshot, tps =
+      match executor with
+      | E_sequential ->
+          let r, tps = time (fun () -> Harness.run_sequential
+                                ~storage:g.storage g.txns) in
+          (r.snapshot, tps)
+      | E_blockstm ->
+          let config =
+            {
+              Harness.Bstm.default_config with
+              num_domains = domains;
+              suspend_resume = suspend;
+              use_estimates = not no_estimates;
+            }
+          in
+          let r, tps =
+            time (fun () -> Harness.run_blockstm ~config ~storage:g.storage
+                     g.txns)
+          in
+          Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics r.metrics;
+          (r.snapshot, tps)
+      | E_bohm -> (
+          match declared with
+          | None ->
+              Fmt.epr "bohm needs a workload with declared write-sets@.";
+              exit 2
+          | Some dw ->
+              let r, tps =
+                time (fun () ->
+                    Harness.run_bohm ~num_domains:domains ~storage:g.storage
+                      ~declared_writes:dw g.txns)
+              in
+              Fmt.pr "executions=%d blocked=%d undeclared=%d@." r.executions
+                r.blocked r.undeclared_writes;
+              (r.snapshot, tps))
+      | E_litm ->
+          let r, tps =
+            time (fun () ->
+                Harness.run_litm ~num_domains:domains ~storage:g.storage
+                  g.txns)
+          in
+          Fmt.pr "rounds=%d executions=%d@." r.rounds r.executions;
+          (r.snapshot, tps)
+    in
+    Fmt.pr "executed %d txns: %.0f tps (wall clock), %d locations written@." n
+      tps (List.length snapshot);
+    if verify then begin
+      let seq = Harness.run_sequential ~storage:g.storage g.txns in
+      let ok = Harness.equal_snapshot seq.snapshot snapshot in
+      Fmt.pr "verify vs sequential: %s@." (if ok then "OK" else "MISMATCH");
+      if not ok then exit 1
+    end
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
+      $ theta_arg $ executor $ domains $ suspend $ no_estimates $ verify)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
+
+(* --- sim -------------------------------------------------------------------- *)
+
+let sim_cmd =
+  let threads =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 32 ]
+      & info [ "t"; "threads" ] ~docv:"LIST"
+          ~doc:"Comma-separated virtual thread counts.")
+  in
+  let suspend =
+    Arg.(value & flag & info [ "suspend-resume" ] ~doc:"Suspend/resume mode.")
+  in
+  let action workload accounts block seed theta threads suspend =
+    let g, _ = build_workload workload ~accounts ~block ~seed ~theta in
+    let n = Array.length g.txns in
+    let seq_us = Harness.sim_sequential_makespan ~storage:g.storage g.txns in
+    Fmt.pr "sequential: %.0f tps (virtual time)@."
+      (Harness.tps_of_makespan ~txns:n seq_us);
+    let t =
+      Blockstm_stats.Table.create ~title:"Block-STM virtual-time scaling"
+        ~header:
+          [ "threads"; "tps"; "speedup"; "incarnations"; "aborts"; "deps" ]
+    in
+    List.iter
+      (fun threads ->
+        let config =
+          { Harness.Bstm.default_config with suspend_resume = suspend }
+        in
+        let result, stats =
+          Harness.sim_blockstm ~config ~num_threads:threads
+            ~storage:g.storage g.txns
+        in
+        let tps = Harness.Virtual_exec.tps ~txns:n stats in
+        Blockstm_stats.Table.add_row t
+          [
+            string_of_int threads;
+            Printf.sprintf "%.0f" tps;
+            Printf.sprintf "%.1fx"
+              (tps /. Harness.tps_of_makespan ~txns:n seq_us);
+            string_of_int result.metrics.incarnations;
+            string_of_int result.metrics.validation_aborts;
+            string_of_int result.metrics.dependency_aborts;
+          ])
+      threads;
+    Blockstm_stats.Table.print t
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
+      $ theta_arg $ threads $ suspend)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Virtual-time thread-scaling sweep (see DESIGN.md)")
+    term
+
+(* --- exp -------------------------------------------------------------------- *)
+
+let exp_cmd =
+  let ids =
+    Arg.(
+      value & opt_all string []
+      & info [ "id" ] ~docv:"NAME"
+          ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
+                real, minimove, micro). Repeatable; default: all.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
+  in
+  let action ids full =
+    let mode =
+      if full then Blockstm_bench.Experiments.Full
+      else Blockstm_bench.Experiments.Quick
+    in
+    let want name = ids = [] || List.mem name ids in
+    List.iter
+      (fun (name, descr, f) ->
+        if want name then begin
+          Fmt.pr "@.### %s — %s@." name descr;
+          f mode
+        end)
+      Blockstm_bench.Experiments.all;
+    if want "micro" && ids <> [] then Blockstm_bench.Micro.run ()
+  in
+  let term = Term.(const action $ ids $ full) in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's figures and tables")
+    term
+
+(* --- minimove --------------------------------------------------------------- *)
+
+let minimove_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"MiniMove source file.")
+  in
+  let args_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "args" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated arguments for main: integers (42), addresses \
+             (@7), booleans (true/false).")
+  in
+  let genesis =
+    Arg.(
+      value & opt int 0
+      & info [ "coin-accounts" ] ~docv:"N"
+          ~doc:"Pre-fund N coin accounts (addresses 1..N) before running.")
+  in
+  let parse_arg s =
+    let s = String.trim s in
+    if s = "" then None
+    else if s = "true" then Some (Blockstm_minimove.Mv_value.Value.Bool true)
+    else if s = "false" then
+      Some (Blockstm_minimove.Mv_value.Value.Bool false)
+    else if String.length s > 1 && s.[0] = '@' then
+      Some
+        (Blockstm_minimove.Mv_value.Value.Addr
+           (int_of_string (String.sub s 1 (String.length s - 1))))
+    else Some (Blockstm_minimove.Mv_value.Value.Int (int_of_string s))
+  in
+  let action file args genesis =
+    let open Blockstm_minimove in
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Interp.compile src with
+    | exception Lexer.Lex_error (m, l) ->
+        Fmt.epr "lex error (line %d): %s@." l m;
+        exit 2
+    | exception Parser.Parse_error (m, l) ->
+        Fmt.epr "parse error (line %d): %s@." l m;
+        exit 2
+    | exception Check.Check_error m ->
+        Fmt.epr "check error: %s@." m;
+        exit 2
+    | compiled ->
+        let args =
+          String.split_on_char ',' args |> List.filter_map parse_arg
+        in
+        let store =
+          if genesis > 0 then Runtime.coin_genesis ~num_accounts:genesis ()
+          else Runtime.Store.create ()
+        in
+        let r =
+          Runtime.Seq.run
+            ~storage:(Runtime.Store.reader store)
+            [| Interp.txn compiled ~args |]
+        in
+        (match r.outputs.(0) with
+        | Blockstm_kernel.Txn.Success v ->
+            Fmt.pr "result: %a@." Mv_value.Value.pp v
+        | Blockstm_kernel.Txn.Failed m ->
+            Fmt.pr "transaction failed: %s@." m);
+        List.iter
+          (fun (l, v) ->
+            Fmt.pr "write: %a = %a@." Mv_value.Loc.pp l Mv_value.Value.pp v)
+          r.snapshot
+  in
+  let term = Term.(const action $ file $ args_arg $ genesis) in
+  Cmd.v (Cmd.info "minimove" ~doc:"Compile and run a MiniMove script") term
+
+(* --- main ------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Block-STM parallel execution engine (PPOPP'23 reproduction)" in
+  let info = Cmd.info "blockstm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sim_cmd; exp_cmd; minimove_cmd ]))

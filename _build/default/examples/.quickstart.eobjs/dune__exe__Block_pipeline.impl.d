@@ -1,0 +1,1 @@
+examples/block_pipeline.ml: Array Blockstm_kernel Blockstm_workload Fmt Harness Ledger List P2p Rng

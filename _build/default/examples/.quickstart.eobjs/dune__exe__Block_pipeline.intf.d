@@ -1,0 +1,1 @@
+examples/block_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/dependency_analysis.ml: Array Blockstm_simexec Blockstm_workload Fmt Harness Ledger List P2p Synthetic

@@ -1,0 +1,1 @@
+examples/minimove_coin.mli:

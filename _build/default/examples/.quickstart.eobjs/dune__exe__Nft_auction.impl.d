@@ -1,0 +1,1 @@
+examples/nft_auction.ml: Array Blockstm_kernel Blockstm_minimove Blockstm_workload Fmt Interp List Loc Mv_value Runtime Stdlib_contracts Value

@@ -1,0 +1,1 @@
+examples/nft_auction.mli:

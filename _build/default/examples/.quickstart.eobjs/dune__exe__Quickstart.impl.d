@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Blockstm_kernel Blockstm_workload Fmt Harness List P2p

@@ -1,0 +1,1 @@
+examples/scaling_demo.ml: Array Blockstm_workload Fmt Harness List P2p

@@ -1,0 +1,1 @@
+examples/validator_replicas.ml: Array Blockstm_chain Blockstm_workload Fmt Ledger List P2p Rng

@@ -1,0 +1,1 @@
+examples/validator_replicas.mli:

@@ -1,0 +1,39 @@
+(* Quickstart: execute a block of payment transactions with Block-STM and
+   check the result against sequential execution.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Blockstm_workload
+
+let () =
+  (* A block of 1000 p2p payments over 100 accounts (moderate contention). *)
+  let workload =
+    P2p.generate
+      { P2p.default_spec with num_accounts = 100; block_size = 1000 }
+  in
+
+  (* Execute with Block-STM on 4 domains. *)
+  let config = { Harness.Bstm.default_config with num_domains = 4 } in
+  let result =
+    Harness.run_blockstm ~config ~storage:workload.storage workload.txns
+  in
+
+  Fmt.pr "Block-STM executed %d transactions on %d domains@."
+    (Array.length workload.txns)
+    config.num_domains;
+  Fmt.pr "  metrics: %a@." Harness.Bstm.pp_metrics result.metrics;
+  Fmt.pr "  snapshot size: %d locations@." (List.length result.snapshot);
+
+  (* Verify against the sequential reference. *)
+  let seq = Harness.run_sequential ~storage:workload.storage workload.txns in
+  let same_snapshot = Harness.equal_snapshot seq.snapshot result.snapshot in
+  let same_outputs = Harness.equal_outputs seq.outputs result.outputs in
+  Fmt.pr "  matches sequential: snapshot=%b outputs=%b@." same_snapshot
+    same_outputs;
+  let failed =
+    Array.fold_left
+      (fun n -> function Blockstm_kernel.Txn.Failed _ -> n + 1 | _ -> n)
+      0 result.outputs
+  in
+  Fmt.pr "  failed transactions: %d@." failed;
+  if not (same_snapshot && same_outputs) then exit 1

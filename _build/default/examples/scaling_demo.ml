@@ -1,0 +1,31 @@
+(* Thread-scaling demo: run the same p2p block through the virtual-time
+   executor at increasing thread counts and watch throughput scale — the
+   single-machine equivalent of the paper's Figure 3/4 sweeps.
+
+   Run with: dune exec examples/scaling_demo.exe *)
+
+open Blockstm_workload
+
+let () =
+  let spec =
+    { P2p.default_spec with num_accounts = 1000; block_size = 1000 }
+  in
+  let w = P2p.generate spec in
+  let n = Array.length w.txns in
+  let seq_us = Harness.sim_sequential_makespan ~storage:w.storage w.txns in
+  let seq_tps = Harness.tps_of_makespan ~txns:n seq_us in
+  Fmt.pr "p2p %s: %d txns over %d accounts@." (P2p.flavor_name spec.flavor) n
+    spec.num_accounts;
+  Fmt.pr "sequential: %6.0f tps@." seq_tps;
+  List.iter
+    (fun threads ->
+      let result, stats =
+        Harness.sim_blockstm ~num_threads:threads ~storage:w.storage w.txns
+      in
+      let tps = Harness.Virtual_exec.tps ~txns:n stats in
+      Fmt.pr
+        "threads=%2d: %6.0f tps (%.1fx) | incarnations=%d aborts=%d \
+         validations=%d@."
+        threads tps (tps /. seq_tps) result.metrics.incarnations
+        result.metrics.validation_aborts result.metrics.validations)
+    [ 1; 2; 4; 8; 16; 32 ]

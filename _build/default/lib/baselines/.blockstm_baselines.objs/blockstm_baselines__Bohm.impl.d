@@ -1,0 +1,1 @@
+lib/baselines/bohm.ml: Array Atomic Atomic_util Blockstm_kernel Domain Fmt Hashtbl Int Int64 Intf List Map Mutex Printexc Queue Txn Unix

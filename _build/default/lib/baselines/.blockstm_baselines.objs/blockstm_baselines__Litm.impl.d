@@ -1,0 +1,1 @@
+lib/baselines/litm.ml: Array Atomic Atomic_util Blockstm_kernel Domain Fmt Fun Hashtbl Intf List Option Printexc Txn

@@ -1,0 +1,1 @@
+lib/baselines/profile.ml: Array Blockstm_kernel Hashtbl Int Intf Set Txn

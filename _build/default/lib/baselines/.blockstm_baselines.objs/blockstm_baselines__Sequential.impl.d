@@ -1,0 +1,1 @@
+lib/baselines/sequential.ml: Array Blockstm_kernel Hashtbl Intf List Printexc Txn

@@ -1,0 +1,53 @@
+(** Sequential profiling pass: executes a block once in the preset order and
+    extracts, per transaction, its dynamic read/write counts and its
+    read-dependencies (which earlier transaction last wrote each location it
+    read). Used to build the dependency DAG that the ideal-BOHM virtual-time
+    model ({!Blockstm_simexec.Dag_sim}) schedules, and by workload-analysis
+    tooling. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module LTbl = Hashtbl.Make (L)
+  module ISet = Set.Make (Int)
+
+  type txn_profile = {
+    reads : int;  (** Dynamic reads (including repeats). *)
+    writes : int;  (** Distinct locations written. *)
+    deps : int list;
+        (** Indices of earlier transactions whose writes this transaction
+            read (ascending, deduplicated). *)
+  }
+
+  let run ~(storage : (L.t, V.t) Intf.storage)
+      (txns : (L.t, V.t, 'o) Txn.t array) : txn_profile array =
+    let overlay : (V.t * int) LTbl.t = LTbl.create 1024 in
+    (* location -> (value, index of last writer) *)
+    Array.mapi
+      (fun j txn ->
+        let buffered : V.t LTbl.t = LTbl.create 8 in
+        let nreads = ref 0 in
+        let deps = ref ISet.empty in
+        let read loc =
+          incr nreads;
+          match LTbl.find_opt buffered loc with
+          | Some v -> Some v
+          | None -> (
+              match LTbl.find_opt overlay loc with
+              | Some (v, writer) ->
+                  deps := ISet.add writer !deps;
+                  Some v
+              | None -> storage loc)
+        in
+        let write loc v = LTbl.replace buffered loc v in
+        let committed =
+          match txn { Txn.read; write } with
+          | _ -> true
+          | exception _ -> false
+        in
+        let writes = if committed then LTbl.length buffered else 0 in
+        if committed then
+          LTbl.iter (fun l v -> LTbl.replace overlay l (v, j)) buffered;
+        { reads = !nreads; writes; deps = ISet.elements !deps })
+      txns
+end

@@ -1,0 +1,1 @@
+lib/chain/chain.ml: Array Blockstm_baselines Blockstm_core Blockstm_kernel Blockstm_storage Fmt Hashtbl Int64 Intf List Txn

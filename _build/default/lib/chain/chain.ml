@@ -1,0 +1,130 @@
+(** Chain manager: the blockchain context Block-STM runs in.
+
+    State machine replication applies a sequence of blocks; every entity
+    executing a block must arrive at the same final state (paper §1). This
+    module chains block executions — folding each block's output snapshot
+    into the running state — and computes a deterministic {e state root} (a
+    fold hash over the sorted snapshot) after every block, so two replicas
+    can compare roots exactly the way validators do. The executor is
+    pluggable: Block-STM with any configuration, or the sequential baseline,
+    must yield identical roots — the repository's end-to-end consensus
+    check. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module Bstm = Blockstm_core.Block_stm.Make (L) (V)
+  module Seq = Blockstm_baselines.Sequential.Make (L) (V)
+  module Store = Blockstm_storage.Memstore.Make (L) (V)
+
+  (** How blocks are executed. *)
+  type executor =
+    | Sequential
+    | Block_stm of Bstm.config
+
+  (** Commitment of one block. *)
+  type 'o block_commit = {
+    height : int;  (** 1-based block height. *)
+    txn_count : int;
+    outputs : 'o Txn.output array;
+    state_root : int64;  (** Deterministic digest of the full state. *)
+    delta_root : int64;  (** Digest of just this block's write snapshot. *)
+    metrics : Bstm.metrics option;  (** Present for Block-STM execution. *)
+  }
+
+  type 'o t = {
+    executor : executor;
+    state : Store.t;
+    mutable height : int;
+    mutable commits : 'o block_commit list;  (* newest first *)
+    hash_loc : L.t -> int;
+    hash_value : V.t -> int;
+  }
+
+  (* FNV-1a-style fold over 64-bit lanes: deterministic, order-sensitive
+     (inputs are sorted by location, so replicas agree). *)
+  let fnv_offset = 0xcbf29ce484222325L
+  let fnv_prime = 0x100000001b3L
+
+  let mix (h : int64) (x : int) : int64 =
+    Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+  let digest ~hash_loc ~hash_value (pairs : (L.t * V.t) list) : int64 =
+    List.fold_left
+      (fun h (l, v) -> mix (mix h (hash_loc l)) (hash_value v))
+      fnv_offset pairs
+
+  (** [create ~executor ~genesis ()] starts a chain whose state is a private
+      copy of [genesis]. [hash_loc]/[hash_value] default to [L.hash] and
+      [Hashtbl.hash]; supply a structural hash for values whose generic hash
+      is unstable. *)
+  let create ?(hash_loc = L.hash) ?(hash_value = fun v -> Hashtbl.hash v)
+      ~executor ~(genesis : Store.t) () : 'o t =
+    {
+      executor;
+      state = Store.copy genesis;
+      height = 0;
+      commits = [];
+      hash_loc;
+      hash_value;
+    }
+
+  let height t = t.height
+  let state t = t.state
+  let commits t = List.rev t.commits
+  let last_commit t = match t.commits with [] -> None | c :: _ -> Some c
+
+  let state_root t : int64 =
+    digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value
+      (Store.to_alist t.state)
+
+  (** Execute and commit one block. Returns the commit record; the chain
+      state advances to the block's post-state. *)
+  let execute_block ?declared_writes (t : 'o t)
+      (txns : (L.t, V.t, 'o) Txn.t array) : 'o block_commit =
+    let snapshot, outputs, metrics =
+      match t.executor with
+      | Sequential ->
+          let r = Seq.run ~storage:(Store.reader t.state) txns in
+          (r.snapshot, r.outputs, None)
+      | Block_stm config ->
+          let r =
+            Bstm.run ~config ?declared_writes
+              ~storage:(Store.reader t.state) txns
+          in
+          (r.snapshot, r.outputs, Some r.metrics)
+    in
+    Store.apply_delta t.state snapshot;
+    t.height <- t.height + 1;
+    let commit =
+      {
+        height = t.height;
+        txn_count = Array.length txns;
+        outputs;
+        state_root = state_root t;
+        delta_root =
+          digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value snapshot;
+        metrics;
+      }
+    in
+    t.commits <- commit :: t.commits;
+    commit
+
+  (** Replica divergence check: do two chains agree on every committed
+      root? Returns the height of the first divergence, if any. *)
+  let first_divergence (a : 'o t) (b : 'o t) : int option =
+    let ra = commits a and rb = commits b in
+    let rec scan = function
+      | ca :: ta, cb :: tb ->
+          if Int64.equal ca.state_root cb.state_root then scan (ta, tb)
+          else Some ca.height
+      | [], [] -> None
+      | ca :: _, [] -> Some ca.height
+      | [], cb :: _ -> Some cb.height
+    in
+    scan (ra, rb)
+
+  let pp_commit ppf (c : 'o block_commit) =
+    Fmt.pf ppf "block %d: %d txns, state_root=%Lx delta_root=%Lx" c.height
+      c.txn_count c.state_root c.delta_root
+end

@@ -1,0 +1,1 @@
+lib/core/block_stm.ml: Array Atomic Atomic_util Blockstm_kernel Blockstm_mvmemory Blockstm_scheduler Blockstm_storage Domain Effect Fmt Hashtbl Intf List Printexc Read_origin Step_event Txn Version

@@ -1,0 +1,520 @@
+(** Block-STM: the parallel execution engine (Algorithms 1 and 4 of the
+    paper, on top of {!Blockstm_mvmemory.Mvmemory} and
+    {!Blockstm_scheduler.Scheduler}).
+
+    Given a block of transactions [tx_0 < tx_1 < ... < tx_{n-1}] and a
+    read-only storage snapshot, [run] executes the block on [num_domains]
+    domains and returns the final write snapshot plus per-transaction outputs
+    — guaranteed identical to executing the block sequentially in the preset
+    order.
+
+    Transactions are closures over an {!type:effects} handle; the VM wrapper
+    intercepts every read and write, accumulating the incarnation's read- and
+    write-sets exactly as Algorithm 4 prescribes. *)
+
+open Blockstm_kernel
+module Scheduler = Blockstm_scheduler.Scheduler
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module Mv = Blockstm_mvmemory.Mvmemory.Make (L) (V)
+  module Store = Blockstm_storage.Memstore.Make (L) (V)
+  module LTbl = Hashtbl.Make (L)
+
+  (** Raised internally when a speculative read hits an [ESTIMATE] marker:
+      the executing transaction depends on [blocking_txn_idx]. *)
+  exception Dependency of int
+
+  (** The handle a transaction uses to access state (see {!Txn.effects}). *)
+  type effects = (L.t, V.t) Txn.effects
+
+  (** A transaction: deterministic code over an effects handle, producing an
+      output of type ['o] (events, return value, gas used, ...). *)
+  type 'o txn = (L.t, V.t, 'o) Txn.t
+
+  (** Outcome of the final incarnation of a transaction. *)
+  type 'o txn_output = 'o Txn.output = Success of 'o | Failed of string
+
+  let pp_txn_output = Txn.pp_output
+
+  (** Execution statistics, aggregated across all domains. *)
+  type metrics = {
+    incarnations : int;  (** VM executions that ran to completion. *)
+    dependency_aborts : int;  (** Executions stopped by an ESTIMATE read. *)
+    validations : int;  (** Validation tasks performed. *)
+    validation_aborts : int;  (** Validations that failed and won the abort. *)
+    prevalidation_skips : int;
+        (** Re-executions short-circuited by the read-set pre-check (§4). *)
+    resumptions : int;
+        (** Incarnations that resumed a suspended predecessor mid-transaction
+            (suspend_resume mode). *)
+    discarded_suspensions : int;
+        (** Suspensions whose read prefix no longer validated and were
+            discarded (suspend_resume mode). *)
+  }
+
+  let pp_metrics ppf m =
+    Fmt.pf ppf
+      "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
+       preval_skips=%d; resumed=%d; discarded=%d }"
+      m.incarnations m.dependency_aborts m.validations m.validation_aborts
+      m.prevalidation_skips m.resumptions m.discarded_suspensions
+
+  type config = {
+    num_domains : int;  (** Worker domains (>= 1). *)
+    use_estimates : bool;
+        (** Paper default [true]: aborted writes become ESTIMATE markers and
+            readers wait for the dependency. [false] is the ablation the
+            paper mentions in §3.2.1 — aborted entries are simply removed, so
+            conflicts surface only at validation time. *)
+    prevalidate_reads : bool;
+        (** §4 optimization: before re-executing an incarnation, re-read the
+            previous read-set and park on any ESTIMATE found. *)
+    prefill_estimates : bool;
+        (** §7 future-work feature: seed MVMemory with ESTIMATE markers from
+            declared write-sets so even first incarnations wait on likely
+            conflicts. Requires [declared_writes]. *)
+    suspend_resume : bool;
+        (** §7 future-work feature (the Diem VM lacked it, see §4): when a
+            read hits an ESTIMATE, capture the transaction's continuation
+            with an OCaml effect handler instead of discarding the work.
+            The scheduler protocol is unchanged (the incarnation still
+            aborts and a new one is created); when the next incarnation
+            starts, the prefix of reads performed before the suspension is
+            re-validated — exactly the optimization §7 suggests — and on
+            success execution resumes mid-transaction. *)
+  }
+
+  let default_config =
+    {
+      num_domains = 1;
+      use_estimates = true;
+      prevalidate_reads = true;
+      prefill_estimates = false;
+      suspend_resume = false;
+    }
+
+  type 'o result = {
+    snapshot : (L.t * V.t) list;  (** Final value per affected location. *)
+    outputs : 'o txn_output array;  (** Per-transaction outputs, in order. *)
+    metrics : metrics;
+  }
+
+  (* ---------------------------------------------------------------------- *)
+  (* Engine instance: shared state of one block execution.                  *)
+  (* ---------------------------------------------------------------------- *)
+
+  type 'o instance = {
+    txns : 'o txn array;
+    storage : (L.t, V.t) Intf.storage;
+    mv : Mv.t;
+    sched : Scheduler.t;
+    cfg : config;
+    outputs : 'o txn_output option array;
+        (* Slot [j] is written only by the executor of tx_j's incarnations
+           (sequential per Corollary 1) and read after all domains join. *)
+    suspensions : 'o suspension_slot array;
+        (* Stashed continuation per transaction (suspend_resume mode). The
+           slot is written by the executor of incarnation i after blocking
+           and consumed (exchanged) by the executor of incarnation i+1;
+           incarnations of one transaction never overlap (Corollary 1), but
+           we use an Atomic for the cross-domain happens-before edge. *)
+    m_incarnations : int Atomic.t;
+    m_dep_aborts : int Atomic.t;
+    m_validations : int Atomic.t;
+    m_val_aborts : int Atomic.t;
+    m_preval_skips : int Atomic.t;
+    m_resumptions : int Atomic.t;
+    m_discarded : int Atomic.t;
+  }
+
+  and 'o suspension_slot = 'o suspension option Atomic.t
+
+  and 'o suspension = {
+    s_resume : (unit, 'o vm_outcome) Effect.Deep.continuation;
+    s_prefix : (L.t * Read_origin.t) list;
+        (** Read log at suspension time (reverse order): must still validate
+            before the continuation may be resumed. *)
+  }
+
+  (** Outcome of running (or resuming) the VM for one incarnation. *)
+  and 'o vm_outcome =
+    | Vm_done of 'o vm_result
+    | Vm_blocked of {
+        blocking : int;
+        reads_so_far : int;
+        suspension : 'o suspension option;
+            (** Present in suspend_resume mode: the captured continuation
+                plus the read prefix observed before the blocking read. *)
+      }
+
+  and 'o vm_result = {
+    vm_read_set : Mv.read_set;
+    vm_write_set : Mv.write_set;
+    vm_output : 'o txn_output;
+    vm_reads : int;  (** Dynamic read count (cost accounting). *)
+    vm_writes : int;  (** Distinct locations written (cost accounting). *)
+  }
+
+  let create_instance ?(config = default_config) ?declared_writes ~storage
+      (txns : 'o txn array) : 'o instance =
+    let n = Array.length txns in
+    if config.num_domains < 1 then
+      invalid_arg "Block_stm: num_domains must be >= 1";
+    let mv = Mv.create ~block_size:n () in
+    (if config.prefill_estimates then
+       match declared_writes with
+       | None ->
+           invalid_arg "Block_stm: prefill_estimates needs declared_writes"
+       | Some dw ->
+           if Array.length dw <> n then
+             invalid_arg "Block_stm: declared_writes length mismatch";
+           Array.iteri (fun j locs -> Mv.prefill_estimates mv j locs) dw);
+    {
+      txns;
+      storage;
+      mv;
+      sched = Scheduler.create ~block_size:n;
+      cfg = config;
+      outputs = Array.make n None;
+      suspensions = Array.init n (fun _ -> Atomic.make None);
+      m_incarnations = Atomic.make 0;
+      m_dep_aborts = Atomic.make 0;
+      m_validations = Atomic.make 0;
+      m_val_aborts = Atomic.make 0;
+      m_preval_skips = Atomic.make 0;
+      m_resumptions = Atomic.make 0;
+      m_discarded = Atomic.make 0;
+    }
+
+  (* ---------------------------------------------------------------------- *)
+  (* Algorithm 4: the VM — speculative execution with instrumented accesses *)
+  (* ---------------------------------------------------------------------- *)
+
+  type _ Effect.t += Blocked_read : int -> unit Effect.t
+
+  exception Discarded_suspension
+
+  (* Executes the transaction's code, intercepting reads and writes. Never
+     touches MVMemory or Storage mutably. Returns [Vm_blocked] when a read
+     observed an ESTIMATE written by a lower transaction; in suspend_resume
+     mode the blocked outcome carries a resumable continuation. *)
+  let vm_execute (inst : 'o instance) ~(txn_idx : int) : 'o vm_outcome =
+    let txn = inst.txns.(txn_idx) in
+    let own_writes : V.t LTbl.t = LTbl.create 8 in
+    let write_order : L.t list ref = ref [] in
+    let read_log : (L.t * Read_origin.t) list ref = ref [] in
+    let nreads = ref 0 in
+    let read loc =
+      incr nreads;
+      match LTbl.find_opt own_writes loc with
+      | Some v -> Some v (* read-your-writes: not recorded in the read-set *)
+      | None ->
+          let rec attempt () =
+            match Mv.read inst.mv loc ~txn_idx with
+            | Mv.Read_error { blocking_txn_idx } ->
+                if inst.cfg.suspend_resume then begin
+                  (* Suspend here; when resumed, retry this same read. *)
+                  Effect.perform (Blocked_read blocking_txn_idx);
+                  attempt ()
+                end
+                else raise (Dependency blocking_txn_idx)
+            | Mv.Not_found ->
+                read_log := (loc, Read_origin.Storage) :: !read_log;
+                inst.storage loc
+            | Mv.Ok (version, value) ->
+                read_log := (loc, Read_origin.Mv version) :: !read_log;
+                Some value
+          in
+          attempt ()
+    in
+    let write loc v =
+      if not (LTbl.mem own_writes loc) then
+        write_order := loc :: !write_order;
+      LTbl.replace own_writes loc v
+    in
+    let finish vm_output ~keep_writes =
+      let vm_read_set = Array.of_list (List.rev !read_log) in
+      let vm_write_set =
+        if keep_writes then
+          (* Deterministic order: first-write order of distinct locations. *)
+          !write_order |> List.rev
+          |> List.map (fun loc -> (loc, LTbl.find own_writes loc))
+          |> Array.of_list
+        else [||]
+      in
+      {
+        vm_read_set;
+        vm_write_set;
+        vm_output;
+        vm_reads = !nreads;
+        vm_writes = LTbl.length own_writes;
+      }
+    in
+    Effect.Deep.match_with
+      (fun () -> txn { Txn.read; write })
+      ()
+      {
+        retc =
+          (fun output -> Vm_done (finish (Success output) ~keep_writes:true));
+        exnc =
+          (fun e ->
+            match e with
+            | Dependency blocking ->
+                Vm_blocked
+                  { blocking; reads_so_far = !nreads; suspension = None }
+            | e ->
+                (* The VM captures transaction failures (§4): the incarnation
+                   commits with no writes. Validation still covers the
+                   observed read-set, so failures caused purely by
+                   inconsistent speculative reads get re-executed. *)
+                Vm_done
+                  (finish (Failed (Printexc.to_string e)) ~keep_writes:false));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Blocked_read blocking ->
+                Some
+                  (fun (k : (a, 'o vm_outcome) Effect.Deep.continuation) ->
+                    Vm_blocked
+                      {
+                        blocking;
+                        reads_so_far = !nreads;
+                        suspension =
+                          Some { s_resume = k; s_prefix = !read_log };
+                      })
+            | _ -> None);
+      }
+
+  (* Re-validate a suspension's read prefix (the §7 "validate the reads that
+     happened during the execution prefix upon resumption"). *)
+  let prefix_valid (inst : _ instance) ~txn_idx prefix : bool =
+    List.for_all
+      (fun (loc, (origin : Read_origin.t)) ->
+        match (Mv.read inst.mv loc ~txn_idx, origin) with
+        | Mv.Read_error _, _ -> false
+        | Mv.Not_found, Storage -> true
+        | Mv.Not_found, Mv _ -> false
+        | Mv.Ok (v, _), Mv v' -> Version.equal v v'
+        | Mv.Ok _, Storage -> false)
+      prefix
+
+  (* ---------------------------------------------------------------------- *)
+  (* Algorithm 1: per-task handlers and the worker loop                     *)
+  (* ---------------------------------------------------------------------- *)
+
+  (** What a single engine step did — consumed by the virtual-time simulator
+      for cost accounting, and by tests. *)
+  type step_event = Step_event.t =
+    | Executed of { version : Version.t; reads : int; writes : int }
+    | Exec_dependency of { version : Version.t; blocking : int; reads : int }
+    | Validated of { version : Version.t; aborted : bool; reads : int }
+    | Got_task
+    | No_task
+
+  (* §4 optimization: before re-running the VM, re-read the previous
+     incarnation's read-set; return the first blocking transaction if any
+     location now carries an ESTIMATE. *)
+  let find_read_set_dependency (inst : _ instance) ~txn_idx : int option =
+    let prior = Mv.last_read_set inst.mv txn_idx in
+    let n = Array.length prior in
+    let rec scan i =
+      if i >= n then None
+      else
+        match Mv.read inst.mv (fst prior.(i)) ~txn_idx with
+        | Mv.Read_error { blocking_txn_idx } -> Some blocking_txn_idx
+        | _ -> scan (i + 1)
+    in
+    scan 0
+
+  (** Work whose observable reads have happened but whose effects are not
+      yet applied. The two-phase split exists for the virtual-time simulator:
+      [start_task] performs everything a real thread would do {e at the start
+      of} a task (claiming, VM execution reads, validation re-reads), and
+      [finish_task] applies the state mutations a real thread performs {e at
+      the end} (recording writes, abort bookkeeping, follow-up scheduling).
+      The real domain-based executor calls them back to back. *)
+  type 'o pending =
+    | P_exec of { version : Version.t; vm : 'o vm_result; prefix_paid : int }
+        (** [prefix_paid]: reads already performed (and charged) by the
+            suspended predecessor this execution resumed — discounted by
+            cost models. 0 for fresh executions. *)
+    | P_exec_dep of {
+        version : Version.t;
+        blocking : int;
+        reads : int;
+        suspension : 'o suspension option;
+      }
+    | P_val of { version : Version.t; valid : bool; reads : int }
+
+  (** Planned work profile of a pending task, for cost models. *)
+  let pending_profile : _ pending -> [ `Exec of int * int | `Dep of int | `Val of int ]
+      = function
+    | P_exec { vm; prefix_paid; _ } ->
+        `Exec (max 0 (vm.vm_reads - prefix_paid), vm.vm_writes)
+    | P_exec_dep { reads; _ } -> `Dep reads
+    | P_val { reads; _ } -> `Val reads
+
+  let start_task (inst : 'o instance) (task : Scheduler.task) : 'o pending =
+    match task with
+    | Scheduler.Execution version -> (
+        let txn_idx = Version.txn_idx version in
+        let incarnation = Version.incarnation version in
+        (* suspend_resume (§7): if the previous incarnation suspended
+           mid-execution, resume its continuation provided the read prefix
+           still validates; otherwise discard it and start over. *)
+        let stashed =
+          if inst.cfg.suspend_resume then
+            Atomic.exchange inst.suspensions.(txn_idx) None
+          else None
+        in
+        let outcome, prefix_paid =
+          match stashed with
+          | Some s when prefix_valid inst ~txn_idx s.s_prefix ->
+              Atomic_util.incr inst.m_resumptions;
+              ( Effect.Deep.continue s.s_resume (),
+                List.length s.s_prefix )
+          | Some s ->
+              Atomic_util.incr inst.m_discarded;
+              (* Unwind the abandoned fiber; its outcome (a Failed result
+                 produced by the handler's exnc) is irrelevant. *)
+              (try
+                 ignore
+                   (Effect.Deep.discontinue s.s_resume Discarded_suspension)
+               with _ -> ());
+              (vm_execute inst ~txn_idx, 0)
+          | None ->
+              let blocked =
+                if inst.cfg.prevalidate_reads && incarnation > 0 then (
+                  match find_read_set_dependency inst ~txn_idx with
+                  | Some b ->
+                      Atomic_util.incr inst.m_preval_skips;
+                      Some b
+                  | None -> None)
+                else None
+              in
+              ( (match blocked with
+                | Some b ->
+                    Vm_blocked
+                      { blocking = b; reads_so_far = 0; suspension = None }
+                | None -> vm_execute inst ~txn_idx),
+                0 )
+        in
+        match outcome with
+        | Vm_blocked { blocking; reads_so_far; suspension } ->
+            P_exec_dep { version; blocking; reads = reads_so_far; suspension }
+        | Vm_done vm -> P_exec { version; vm; prefix_paid })
+    | Scheduler.Validation version ->
+        let txn_idx = Version.txn_idx version in
+        Atomic_util.incr inst.m_validations;
+        let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
+        let valid = Mv.validate_read_set inst.mv txn_idx in
+        P_val { version; valid; reads }
+
+  let finish_task (inst : 'o instance) (p : 'o pending) :
+      Scheduler.task option * step_event =
+    match p with
+    | P_exec { version; vm; prefix_paid = _ } ->
+        let txn_idx = Version.txn_idx version in
+        let incarnation = Version.incarnation version in
+        Atomic_util.incr inst.m_incarnations;
+        inst.outputs.(txn_idx) <- Some vm.vm_output;
+        let wrote_new_location =
+          Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
+        in
+        let next =
+          Scheduler.finish_execution inst.sched ~txn_idx ~incarnation
+            ~wrote_new_location
+        in
+        (next, Executed { version; reads = vm.vm_reads; writes = vm.vm_writes })
+    | P_exec_dep { version; blocking; reads; suspension } ->
+        Atomic_util.incr inst.m_dep_aborts;
+        let txn_idx = Version.txn_idx version in
+        (* Stash the continuation (if any) before publishing the dependency,
+           so whichever thread executes the next incarnation finds it. *)
+        (match suspension with
+        | Some _ -> Atomic.set inst.suspensions.(txn_idx) suspension
+        | None -> ());
+        if
+          Scheduler.add_dependency inst.sched ~txn_idx
+            ~blocking_txn_idx:blocking
+        then (None, Exec_dependency { version; blocking; reads })
+        else
+          (* Dependency already resolved: hand the execution task back so the
+             caller immediately retries (paper Line 15). *)
+          ( Some (Scheduler.Execution version),
+            Exec_dependency { version; blocking; reads } )
+    | P_val { version; valid; reads } ->
+        let txn_idx = Version.txn_idx version in
+        let aborted =
+          (not valid) && Scheduler.try_validation_abort inst.sched version
+        in
+        if aborted then (
+          Atomic_util.incr inst.m_val_aborts;
+          if inst.cfg.use_estimates then
+            Mv.convert_writes_to_estimates inst.mv txn_idx
+          else Mv.remove_written_entries inst.mv txn_idx);
+        let next = Scheduler.finish_validation inst.sched ~txn_idx ~aborted in
+        (next, Validated { version; aborted; reads })
+
+  (** One step of the Algorithm 1 loop body: run the carried task (start and
+      finish back to back), or fetch a new one. Returns the task to carry
+      into the next step plus the event describing what happened.
+      Thread-safe: any number of domains may call it concurrently. *)
+  let step (inst : _ instance) (task : Scheduler.task option) :
+      Scheduler.task option * step_event =
+    match task with
+    | Some t -> finish_task inst (start_task inst t)
+    | None -> (
+        match Scheduler.next_task inst.sched with
+        | Some t -> (Some t, Got_task)
+        | None -> (None, No_task))
+
+  let worker_loop (inst : _ instance) : unit =
+    let task = ref None in
+    while not (Scheduler.done_ inst.sched) do
+      let task', _ev = step inst !task in
+      task := task'
+    done
+
+  let metrics_of (inst : _ instance) : metrics =
+    {
+      incarnations = Atomic.get inst.m_incarnations;
+      dependency_aborts = Atomic.get inst.m_dep_aborts;
+      validations = Atomic.get inst.m_validations;
+      validation_aborts = Atomic.get inst.m_val_aborts;
+      prevalidation_skips = Atomic.get inst.m_preval_skips;
+      resumptions = Atomic.get inst.m_resumptions;
+      discarded_suspensions = Atomic.get inst.m_discarded;
+    }
+
+  let finalize (inst : 'o instance) : 'o result =
+    {
+      snapshot = Mv.snapshot inst.mv;
+      outputs =
+        Array.mapi
+          (fun j -> function
+            | Some o -> o
+            | None ->
+                Fmt.failwith "Block_stm: transaction %d has no output" j)
+          inst.outputs;
+      metrics = metrics_of inst;
+    }
+
+  (** Execute a block. [storage] is the pre-block state; [txns] the block in
+      its preset serialization order. Spawns [config.num_domains - 1] extra
+      domains and participates with the calling domain. *)
+  let run ?(config = default_config) ?declared_writes ~storage
+      (txns : 'o txn array) : 'o result =
+    let inst = create_instance ~config ?declared_writes ~storage txns in
+    if Array.length txns = 0 then
+      { snapshot = []; outputs = [||]; metrics = metrics_of inst }
+    else begin
+      let others =
+        Array.init (config.num_domains - 1) (fun _ ->
+            Domain.spawn (fun () -> worker_loop inst))
+      in
+      worker_loop inst;
+      Array.iter Domain.join others;
+      finalize inst
+    end
+end

@@ -1,0 +1,1 @@
+lib/kernel/atomic_util.ml: Atomic

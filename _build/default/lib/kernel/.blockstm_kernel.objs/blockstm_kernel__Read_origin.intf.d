@@ -1,0 +1,1 @@
+lib/kernel/read_origin.mli: Format Version

@@ -1,0 +1,1 @@
+lib/kernel/step_event.ml: Fmt Version

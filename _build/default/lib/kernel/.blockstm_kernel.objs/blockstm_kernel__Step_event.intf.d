@@ -1,0 +1,1 @@
+lib/kernel/step_event.mli: Format Version

@@ -1,0 +1,1 @@
+lib/kernel/txn.mli: Fmt Format

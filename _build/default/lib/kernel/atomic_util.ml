@@ -1,0 +1,28 @@
+(** Small helpers over [Stdlib.Atomic] used throughout the scheduler.
+
+    OCaml exposes [fetch_and_add] and [compare_and_set]; the paper also relies
+    on a [fetch_min] instruction, which we implement as a CAS loop. *)
+
+(** [fetch_min a v] atomically sets [a] to [min (get a) v]. Returns [true] iff
+    the stored value actually decreased. Lock-free: retries only when another
+    thread raced a concurrent update. *)
+let rec fetch_min (a : int Atomic.t) (v : int) : bool =
+  let cur = Atomic.get a in
+  if v >= cur then false
+  else if Atomic.compare_and_set a cur v then true
+  else fetch_min a v
+
+(** [fetch_max a v] atomically sets [a] to [max (get a) v]; [true] iff it
+    increased. *)
+let rec fetch_max (a : int Atomic.t) (v : int) : bool =
+  let cur = Atomic.get a in
+  if v <= cur then false
+  else if Atomic.compare_and_set a cur v then true
+  else fetch_max a v
+
+let incr (a : int Atomic.t) : unit = ignore (Atomic.fetch_and_add a 1)
+let decr (a : int Atomic.t) : unit = ignore (Atomic.fetch_and_add a (-1))
+
+(** [get_and_incr a] is the paper's [fetch_and_increment]: returns the value
+    held before the increment. *)
+let get_and_incr (a : int Atomic.t) : int = Atomic.fetch_and_add a 1

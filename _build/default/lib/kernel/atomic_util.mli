@@ -1,0 +1,15 @@
+(** Helpers over [Stdlib.Atomic] used throughout the scheduler. *)
+
+val fetch_min : int Atomic.t -> int -> bool
+(** [fetch_min a v] atomically sets [a] to [min (get a) v] (the paper's
+    [fetch_min] instruction, here a CAS loop). Returns [true] iff the stored
+    value actually decreased. *)
+
+val fetch_max : int Atomic.t -> int -> bool
+(** Dual of {!fetch_min}. *)
+
+val incr : int Atomic.t -> unit
+val decr : int Atomic.t -> unit
+
+val get_and_incr : int Atomic.t -> int
+(** The paper's [fetch_and_increment]: returns the pre-increment value. *)

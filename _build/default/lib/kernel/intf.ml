@@ -1,0 +1,29 @@
+(** Interfaces shared by every executor in the repository.
+
+    The whole engine is polymorphic in the type of memory locations (the
+    paper's {e access paths}) and the type of stored values. Benchmarks use
+    compact integer-based locations; the MiniMove virtual machine uses
+    structured [(address, resource)] paths. *)
+
+(** Memory locations / access paths. Must be hashable (MVMemory shards by
+    hash) and totally ordered (deterministic snapshots). *)
+module type LOCATION = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Values stored at memory locations. *)
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Read-only snapshot of the state as of the beginning of the block: the
+    paper's [Storage] module. [None] means the location does not exist. *)
+type ('loc, 'value) storage = 'loc -> 'value option

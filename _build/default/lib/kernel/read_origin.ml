@@ -1,0 +1,20 @@
+(** Provenance of a speculative read, stored in read-sets for validation.
+
+    The paper's read descriptors: a read either came from [Storage] (the
+    pre-block state; the paper writes version [⊥]) or from MVMemory, in which
+    case the version of the writing incarnation is recorded. Validation
+    succeeds iff re-reading yields a descriptor equal to the recorded one. *)
+
+type t =
+  | Storage  (** Value was read from pre-block storage (no lower writer). *)
+  | Mv of Version.t  (** Value was written by this (txn, incarnation). *)
+
+let equal a b =
+  match (a, b) with
+  | Storage, Storage -> true
+  | Mv va, Mv vb -> Version.equal va vb
+  | _ -> false
+
+let pp ppf = function
+  | Storage -> Fmt.string ppf "storage"
+  | Mv v -> Fmt.pf ppf "mv%a" Version.pp v

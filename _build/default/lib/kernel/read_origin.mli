@@ -1,0 +1,10 @@
+(** Provenance of a speculative read, stored in read-sets for validation:
+    either pre-block [Storage] (the paper's version [⊥]) or an MVMemory
+    entry tagged with the writing incarnation's version. *)
+
+type t =
+  | Storage
+  | Mv of Version.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

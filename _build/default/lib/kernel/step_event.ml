@@ -1,0 +1,26 @@
+(** What a single engine step did. Emitted by the executor's step function
+    and consumed by the virtual-time simulator (cost accounting) and by
+    tests (behavioral assertions). *)
+
+type t =
+  | Executed of { version : Version.t; reads : int; writes : int }
+      (** A VM execution ran to completion and was recorded. *)
+  | Exec_dependency of { version : Version.t; blocking : int; reads : int }
+      (** Execution stopped on an ESTIMATE and parked as a dependency of
+          [blocking]; [reads] performed before stopping. *)
+  | Validated of { version : Version.t; aborted : bool; reads : int }
+      (** A validation task re-read [reads] locations; [aborted] iff it
+          failed and won the abort. *)
+  | Got_task  (** [next_task] produced a task to run next step. *)
+  | No_task  (** [next_task] found nothing ready (idle spin). *)
+
+let pp ppf = function
+  | Executed { version; reads; writes } ->
+      Fmt.pf ppf "executed%a[r=%d,w=%d]" Version.pp version reads writes
+  | Exec_dependency { version; blocking; reads } ->
+      Fmt.pf ppf "dependency%a->%d[r=%d]" Version.pp version blocking reads
+  | Validated { version; aborted; reads } ->
+      Fmt.pf ppf "validated%a[aborted=%b,r=%d]" Version.pp version aborted
+        reads
+  | Got_task -> Fmt.string ppf "got-task"
+  | No_task -> Fmt.string ppf "no-task"

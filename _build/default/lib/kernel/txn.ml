@@ -1,0 +1,36 @@
+(** The transaction representation shared by every executor in the repo
+    (Block-STM, Sequential, BOHM, LiTM).
+
+    A transaction is deterministic code over an {!type:effects} handle — the
+    paper's VM black box. Executors differ only in how they implement [read]
+    and [write] (speculative multi-version reads, direct state access, ...).
+    Because these are polymorphic record types rather than functor members,
+    the same transaction value can be run through all executors, which is how
+    the test suite checks output equivalence. *)
+
+type ('loc, 'value) effects = {
+  read : 'loc -> 'value option;
+      (** [None]: the location exists neither in the visible write history
+          nor in pre-block storage. *)
+  write : 'loc -> 'value -> unit;
+}
+
+(** Transaction code producing an output of type ['o]. Must be a pure
+    function of the values its reads return. *)
+type ('loc, 'value, 'o) t = ('loc, 'value) effects -> 'o
+
+(** Outcome of a committed transaction. [Failed] captures an exception raised
+    by the transaction's code (e.g. a smart-contract abort): the transaction
+    commits with an empty write-set, mirroring how the Diem VM captures all
+    execution errors (paper §4). *)
+type 'o output = Success of 'o | Failed of string
+
+let equal_output eq_o a b =
+  match (a, b) with
+  | Success x, Success y -> eq_o x y
+  | Failed x, Failed y -> String.equal x y
+  | _ -> false
+
+let pp_output pp_o ppf = function
+  | Success o -> Fmt.pf ppf "Success (%a)" pp_o o
+  | Failed m -> Fmt.pf ppf "Failed %S" m

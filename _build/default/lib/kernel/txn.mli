@@ -1,0 +1,23 @@
+(** The transaction representation shared by every executor (Block-STM,
+    Sequential, BOHM, LiTM): deterministic code over a read/write effects
+    handle — the paper's VM black box. *)
+
+type ('loc, 'value) effects = {
+  read : 'loc -> 'value option;
+      (** [None]: the location exists neither in the visible write history
+          nor in pre-block storage. *)
+  write : 'loc -> 'value -> unit;
+}
+
+(** Transaction code producing an output of type ['o]. Must be a pure
+    function of the values its reads return; executors may run it any number
+    of times. *)
+type ('loc, 'value, 'o) t = ('loc, 'value) effects -> 'o
+
+(** Outcome of a committed transaction. [Failed] captures an exception
+    raised by the transaction's code (e.g. a smart-contract abort): the
+    transaction commits with an empty write-set (paper §4). *)
+type 'o output = Success of 'o | Failed of string
+
+val equal_output : ('o -> 'o -> bool) -> 'o output -> 'o output -> bool
+val pp_output : 'o Fmt.t -> Format.formatter -> 'o output -> unit

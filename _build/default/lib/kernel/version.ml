@@ -1,0 +1,28 @@
+(** Transaction versions.
+
+    A {e version} identifies one particular execution attempt — an
+    {e incarnation} — of a transaction inside a block: the pair of the
+    transaction's index in the preset serialization order and the incarnation
+    number (0 for the first execution, incremented on every abort). *)
+
+type t = {
+  txn_idx : int;  (** Position of the transaction in the block, 0-based. *)
+  incarnation : int;  (** Execution attempt number, starting at 0. *)
+}
+
+let make ~txn_idx ~incarnation =
+  if txn_idx < 0 then invalid_arg "Version.make: negative txn_idx";
+  if incarnation < 0 then invalid_arg "Version.make: negative incarnation";
+  { txn_idx; incarnation }
+
+let txn_idx v = v.txn_idx
+let incarnation v = v.incarnation
+let equal a b = a.txn_idx = b.txn_idx && a.incarnation = b.incarnation
+
+let compare a b =
+  match Int.compare a.txn_idx b.txn_idx with
+  | 0 -> Int.compare a.incarnation b.incarnation
+  | c -> c
+
+let pp ppf v = Fmt.pf ppf "(%d,%d)" v.txn_idx v.incarnation
+let to_string v = Fmt.str "%a" pp v

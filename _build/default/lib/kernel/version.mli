@@ -1,0 +1,21 @@
+(** Transaction versions: a transaction's index in the block's preset
+    serialization order paired with its incarnation (re-execution attempt)
+    number. *)
+
+type t = {
+  txn_idx : int;  (** Position of the transaction in the block, 0-based. *)
+  incarnation : int;  (** Execution attempt number, starting at 0. *)
+}
+
+val make : txn_idx:int -> incarnation:int -> t
+(** @raise Invalid_argument on negative components. *)
+
+val txn_idx : t -> int
+val incarnation : t -> int
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic: by transaction index, then incarnation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/minimove/ast.ml: Fmt List

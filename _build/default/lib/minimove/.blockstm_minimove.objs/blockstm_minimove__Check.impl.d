@@ -1,0 +1,1 @@
+lib/minimove/check.ml: Ast Fmt List Set String

@@ -1,0 +1,1 @@
+lib/minimove/check.mli: Ast

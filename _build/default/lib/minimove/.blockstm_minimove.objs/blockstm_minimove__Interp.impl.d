@@ -1,0 +1,1 @@
+lib/minimove/interp.ml: Ast Blockstm_kernel Check Fmt Hashtbl List Loc Mv_value Option Parser Txn Value

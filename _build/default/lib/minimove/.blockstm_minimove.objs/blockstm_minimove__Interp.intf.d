@@ -1,0 +1,1 @@
+lib/minimove/interp.mli: Blockstm_kernel Loc Mv_value Txn Value

@@ -1,0 +1,1 @@
+lib/minimove/lexer.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/minimove/mv_value.ml: Bool Fmt Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/minimove/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/minimove/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/minimove/runtime.ml: Blockstm_baselines Blockstm_core Blockstm_storage Loc Mv_value Value

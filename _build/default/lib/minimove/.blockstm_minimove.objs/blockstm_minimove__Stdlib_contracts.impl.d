@@ -1,0 +1,1 @@
+lib/minimove/stdlib_contracts.ml:

@@ -1,0 +1,129 @@
+(** Abstract syntax of MiniMove, the small smart-contract language used as
+    the repository's Move-VM substrate (DESIGN.md §3).
+
+    A MiniMove {e script} is a list of function definitions; transaction
+    execution runs [main] with the transaction's arguments. Global state is a
+    set of {e resources}: named structs stored under an (address, resource
+    name) location — the unit of conflict detection, exactly like Move's
+    global storage and the paper's access paths. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+type unop = Not | Neg
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Addr of int  (** Address literal [@n]. *)
+  | Unit
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** User-defined function call. *)
+  | Field of expr * string  (** Struct field projection [e.f]. *)
+  | Record of string * (string * expr) list  (** Struct literal [R { .. }]. *)
+  | Exists of expr * string  (** [exists(addr, R)]: is the resource there? *)
+  | Load of expr * string  (** [load(addr, R)]: read a global resource. *)
+  | If_expr of expr * expr * expr  (** Ternary-style conditional. *)
+
+type stmt =
+  | Let of string * expr  (** [let x = e;] introduces a local. *)
+  | Assign of string * expr  (** [x = e;] rebinds a local. *)
+  | Store of expr * string * expr  (** [store(addr, R, e);] global write. *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Assert of expr * string  (** [assert(e, "msg");] aborts on false. *)
+  | Abort of string  (** [abort "msg";] unconditional failure. *)
+  | Return of expr
+  | Expr of expr  (** Expression evaluated for effect. *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  line : int;  (** Source line of the definition (diagnostics). *)
+}
+
+type program = { funcs : func list }
+
+let find_func (p : program) (name : string) : func option =
+  List.find_opt (fun f -> f.fname = name) p.funcs
+
+(* --- Pretty-printing (debugging, golden tests) --------------------------- *)
+
+let rec pp_expr ppf = function
+  | Int i -> Fmt.int ppf i
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Addr a -> Fmt.pf ppf "@%d" a
+  | Unit -> Fmt.string ppf "()"
+  | Var x -> Fmt.string ppf x
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop (Not, e) -> Fmt.pf ppf "(!%a)" pp_expr e
+  | Unop (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:Fmt.comma pp_expr) args
+  | Field (e, f) -> Fmt.pf ppf "%a.%s" pp_expr e f
+  | Record (r, fields) ->
+      Fmt.pf ppf "%s { %a }" r
+        (Fmt.list ~sep:Fmt.comma (fun ppf (f, e) ->
+             Fmt.pf ppf "%s: %a" f pp_expr e))
+        fields
+  | Exists (a, r) -> Fmt.pf ppf "exists(%a, %s)" pp_expr a r
+  | Load (a, r) -> Fmt.pf ppf "load(%a, %s)" pp_expr a r
+  | If_expr (c, t, e) ->
+      Fmt.pf ppf "(if %a then %a else %a)" pp_expr c pp_expr t pp_expr e
+
+let rec pp_stmt ppf = function
+  | Let (x, e) -> Fmt.pf ppf "let %s = %a;" x pp_expr e
+  | Assign (x, e) -> Fmt.pf ppf "%s = %a;" x pp_expr e
+  | Store (a, r, e) ->
+      Fmt.pf ppf "store(%a, %s, %a);" pp_expr a r pp_expr e
+  | If (c, t, []) ->
+      Fmt.pf ppf "if (%a) { %a }" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+      Fmt.pf ppf "if (%a) { %a } else { %a }" pp_expr c pp_stmts t pp_stmts e
+  | While (c, b) -> Fmt.pf ppf "while (%a) { %a }" pp_expr c pp_stmts b
+  | Assert (e, m) -> Fmt.pf ppf "assert(%a, %S);" pp_expr e m
+  | Abort m -> Fmt.pf ppf "abort %S;" m
+  | Return e -> Fmt.pf ppf "return %a;" pp_expr e
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+
+and pp_stmts ppf stmts = Fmt.list ~sep:Fmt.sp pp_stmt ppf stmts
+
+let pp_func ppf f =
+  Fmt.pf ppf "fun %s(%a) { %a }" f.fname
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    f.params pp_stmts f.body
+
+let pp_program ppf p = Fmt.list ~sep:Fmt.cut pp_func ppf p.funcs

@@ -1,0 +1,121 @@
+(** Static checks for MiniMove programs, run once at compile time (so that
+    errors surface before the block executes, as a real VM's verifier
+    would): unbound variables, unknown functions, call-arity mismatches,
+    duplicate parameters/record fields, presence and shape of [main], and
+    unreachable statements after [return]/[abort]. *)
+
+open Ast
+
+exception Check_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Check_error m)) fmt
+
+module SSet = Set.Make (String)
+
+(** Builtin functions available to every script: name and arity. *)
+let builtins = [ ("to_addr", 1); ("addr_of", 1); ("min", 2); ("max", 2) ]
+
+let rec check_expr ~(funcs : (string * int) list) ~(scope : SSet.t) = function
+  | Int _ | Bool _ | Str _ | Addr _ | Unit -> ()
+  | Var x ->
+      if not (SSet.mem x scope) then fail "unbound variable '%s'" x
+  | Binop (_, a, b) ->
+      check_expr ~funcs ~scope a;
+      check_expr ~funcs ~scope b
+  | Unop (_, e) -> check_expr ~funcs ~scope e
+  | Call (f, args) -> (
+      List.iter (check_expr ~funcs ~scope) args;
+      match List.assoc_opt f funcs with
+      | None -> fail "unknown function '%s'" f
+      | Some arity ->
+          if arity <> List.length args then
+            fail "function '%s' expects %d argument(s), got %d" f arity
+              (List.length args))
+  | Field (e, _) -> check_expr ~funcs ~scope e
+  | Record (name, fields) ->
+      let seen =
+        List.fold_left
+          (fun seen (f, e) ->
+            if SSet.mem f seen then
+              fail "duplicate field '%s' in struct '%s'" f name;
+            check_expr ~funcs ~scope e;
+            SSet.add f seen)
+          SSet.empty fields
+      in
+      ignore seen
+  | Exists (a, _) | Load (a, _) -> check_expr ~funcs ~scope a
+  | If_expr (c, t, e) ->
+      check_expr ~funcs ~scope c;
+      check_expr ~funcs ~scope t;
+      check_expr ~funcs ~scope e
+
+(* Returns the scope extended with let-bindings, plus whether control surely
+   left the block (return/abort), for unreachable-code detection. *)
+let rec check_stmts ~funcs ~scope (stmts : stmt list) : unit =
+  match stmts with
+  | [] -> ()
+  | stmt :: rest ->
+      let terminated = match stmt with Return _ | Abort _ -> true | _ -> false in
+      if terminated && rest <> [] then
+        fail "unreachable code after return/abort";
+      let scope =
+        match stmt with
+        | Let (x, e) ->
+            check_expr ~funcs ~scope e;
+            SSet.add x scope
+        | Assign (x, e) ->
+            if not (SSet.mem x scope) then
+              fail "assignment to unbound variable '%s'" x;
+            check_expr ~funcs ~scope e;
+            scope
+        | Store (a, _, v) ->
+            check_expr ~funcs ~scope a;
+            check_expr ~funcs ~scope v;
+            scope
+        | If (c, t, e) ->
+            check_expr ~funcs ~scope c;
+            check_stmts ~funcs ~scope t;
+            check_stmts ~funcs ~scope e;
+            scope
+        | While (c, b) ->
+            check_expr ~funcs ~scope c;
+            check_stmts ~funcs ~scope b;
+            scope
+        | Assert (e, _) ->
+            check_expr ~funcs ~scope e;
+            scope
+        | Abort _ -> scope
+        | Return e ->
+            check_expr ~funcs ~scope e;
+            scope
+        | Expr e ->
+            check_expr ~funcs ~scope e;
+            scope
+      in
+      check_stmts ~funcs ~scope rest
+
+let check_func ~funcs (f : func) : unit =
+  let seen =
+    List.fold_left
+      (fun seen p ->
+        if SSet.mem p seen then
+          fail "duplicate parameter '%s' in function '%s'" p f.fname;
+        SSet.add p seen)
+      SSet.empty f.params
+  in
+  check_stmts ~funcs ~scope:seen f.body
+
+(** Check a whole program. [require_main] (default true) additionally
+    demands a [main] entry point. *)
+let check ?(require_main = true) (p : program) : unit =
+  let funcs =
+    List.fold_left
+      (fun acc (f : func) ->
+        if List.mem_assoc f.fname acc then
+          fail "duplicate function '%s'" f.fname;
+        (f.fname, List.length f.params) :: acc)
+      builtins p.funcs
+  in
+  List.iter (check_func ~funcs) p.funcs;
+  if require_main && not (List.mem_assoc "main" funcs) then
+    fail "program has no 'main' function"

@@ -1,0 +1,211 @@
+(** The MiniMove interpreter: executes a compiled script as a transaction
+    over a {!Blockstm_kernel.Txn.effects} handle, so the same contract code
+    runs unchanged under Block-STM, Sequential, BOHM and LiTM.
+
+    Execution is deterministic given the values reads return, and
+    gas-metered: every evaluation step consumes gas, so scripts with loops
+    are guaranteed to terminate (the paper's liveness proof assumes a
+    wait-free VM; gas is how real chains enforce it). Failures —
+    [abort]/[assert], missing resources, type errors, out-of-gas — raise
+    {!Abort}, which executors capture as a [Failed] transaction output. *)
+
+open Blockstm_kernel
+open Mv_value
+
+(** Deterministic transaction failure (VM-captured). *)
+exception Abort of string
+
+type compiled = { prog : Ast.program; src_hash : int }
+
+(** Parse and statically check a MiniMove source string. Raises
+    {!Lexer.Lex_error}, {!Parser.Parse_error} or {!Check.Check_error}. *)
+let compile ?(require_main = true) (src : string) : compiled =
+  let prog = Parser.parse src in
+  Check.check ~require_main prog;
+  { prog; src_hash = Hashtbl.hash src }
+
+exception Return_value of Value.t
+
+type frame = (string, Value.t) Hashtbl.t
+
+type ctx = {
+  prog : Ast.program;
+  effects : (Loc.t, Value.t) Txn.effects;
+  mutable gas : int;
+}
+
+let default_gas_limit = 1_000_000
+
+let burn ctx cost =
+  ctx.gas <- ctx.gas - cost;
+  if ctx.gas < 0 then raise (Abort "out of gas")
+
+let as_int = function
+  | Value.Int i -> i
+  | v -> raise (Abort (Fmt.str "expected int, got %s" (Value.type_name v)))
+
+let as_bool = function
+  | Value.Bool b -> b
+  | v -> raise (Abort (Fmt.str "expected bool, got %s" (Value.type_name v)))
+
+let as_addr = function
+  | Value.Addr a -> a
+  | v ->
+      raise (Abort (Fmt.str "expected address, got %s" (Value.type_name v)))
+
+let rec eval (ctx : ctx) (frame : frame) (e : Ast.expr) : Value.t =
+  burn ctx 1;
+  match e with
+  | Ast.Int i -> Value.Int i
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Str s -> Value.Str s
+  | Ast.Addr a -> Value.Addr a
+  | Ast.Unit -> Value.Unit
+  | Ast.Var x -> (
+      match Hashtbl.find_opt frame x with
+      | Some v -> v
+      | None -> raise (Abort (Fmt.str "unbound variable '%s'" x)))
+  | Ast.Unop (Ast.Not, e) -> Value.Bool (not (as_bool (eval ctx frame e)))
+  | Ast.Unop (Ast.Neg, e) -> Value.Int (-as_int (eval ctx frame e))
+  | Ast.Binop (Ast.And, a, b) ->
+      (* Short-circuit. *)
+      if as_bool (eval ctx frame a) then
+        Value.Bool (as_bool (eval ctx frame b))
+      else Value.Bool false
+  | Ast.Binop (Ast.Or, a, b) ->
+      if as_bool (eval ctx frame a) then Value.Bool true
+      else Value.Bool (as_bool (eval ctx frame b))
+  | Ast.Binop (op, a, b) -> (
+      let va = eval ctx frame a in
+      let vb = eval ctx frame b in
+      match op with
+      | Ast.Add -> Value.Int (as_int va + as_int vb)
+      | Ast.Sub -> Value.Int (as_int va - as_int vb)
+      | Ast.Mul -> Value.Int (as_int va * as_int vb)
+      | Ast.Div ->
+          let d = as_int vb in
+          if d = 0 then raise (Abort "division by zero");
+          Value.Int (as_int va / d)
+      | Ast.Mod ->
+          let d = as_int vb in
+          if d = 0 then raise (Abort "modulo by zero");
+          Value.Int (as_int va mod d)
+      | Ast.Eq -> Value.Bool (Value.equal va vb)
+      | Ast.Neq -> Value.Bool (not (Value.equal va vb))
+      | Ast.Lt -> Value.Bool (as_int va < as_int vb)
+      | Ast.Le -> Value.Bool (as_int va <= as_int vb)
+      | Ast.Gt -> Value.Bool (as_int va > as_int vb)
+      | Ast.Ge -> Value.Bool (as_int va >= as_int vb)
+      | Ast.And | Ast.Or -> assert false)
+  | Ast.Call (fname, args) -> (
+      let vargs = List.map (eval ctx frame) args in
+      match (fname, vargs) with
+      (* Builtins (see {!Check.builtins}). *)
+      | "to_addr", [ v ] | "addr_of", [ v ] -> Value.Addr (as_int v)
+      | "min", [ a; b ] -> Value.Int (min (as_int a) (as_int b))
+      | "max", [ a; b ] -> Value.Int (max (as_int a) (as_int b))
+      | _ -> (
+          match Ast.find_func ctx.prog fname with
+          | None -> raise (Abort (Fmt.str "unknown function '%s'" fname))
+          | Some f -> call ctx f vargs))
+  | Ast.Field (e, fld) -> (
+      match eval ctx frame e with
+      | Value.Struct (_, fields) -> (
+          match List.assoc_opt fld fields with
+          | Some v -> v
+          | None -> raise (Abort (Fmt.str "no field '%s'" fld)))
+      | v ->
+          raise
+            (Abort
+               (Fmt.str "field access on non-struct %s" (Value.type_name v))))
+  | Ast.Record (name, fields) ->
+      Value.Struct
+        (name, List.map (fun (f, e) -> (f, eval ctx frame e)) fields)
+  | Ast.Exists (a, resource) ->
+      let addr = as_addr (eval ctx frame a) in
+      burn ctx 3;
+      Value.Bool
+        (Option.is_some (ctx.effects.read (Loc.make ~addr ~resource)))
+  | Ast.Load (a, resource) -> (
+      let addr = as_addr (eval ctx frame a) in
+      burn ctx 3;
+      match ctx.effects.read (Loc.make ~addr ~resource) with
+      | Some v -> v
+      | None ->
+          raise (Abort (Fmt.str "missing resource %s at @%d" resource addr)))
+  | Ast.If_expr (c, t, e) ->
+      if as_bool (eval ctx frame c) then eval ctx frame t
+      else eval ctx frame e
+
+and exec_stmts (ctx : ctx) (frame : frame) (stmts : Ast.stmt list) : unit =
+  List.iter (exec_stmt ctx frame) stmts
+
+and exec_stmt (ctx : ctx) (frame : frame) (s : Ast.stmt) : unit =
+  burn ctx 1;
+  match s with
+  | Ast.Let (x, e) | Ast.Assign (x, e) ->
+      Hashtbl.replace frame x (eval ctx frame e)
+  | Ast.Store (a, resource, v) ->
+      let addr = as_addr (eval ctx frame a) in
+      let value = eval ctx frame v in
+      burn ctx 3;
+      ctx.effects.write (Loc.make ~addr ~resource) value
+  | Ast.If (c, t, e) ->
+      if as_bool (eval ctx frame c) then exec_stmts ctx frame t
+      else exec_stmts ctx frame e
+  | Ast.While (c, body) ->
+      while as_bool (eval ctx frame c) do
+        exec_stmts ctx frame body
+      done
+  | Ast.Assert (e, msg) ->
+      if not (as_bool (eval ctx frame e)) then
+        raise (Abort ("assertion failed: " ^ msg))
+  | Ast.Abort msg -> raise (Abort msg)
+  | Ast.Return e -> raise (Return_value (eval ctx frame e))
+  | Ast.Expr e -> ignore (eval ctx frame e)
+
+and call (ctx : ctx) (f : Ast.func) (args : Value.t list) : Value.t =
+  if List.length args <> List.length f.params then
+    raise
+      (Abort
+         (Fmt.str "function '%s' expects %d argument(s), got %d" f.fname
+            (List.length f.params) (List.length args)));
+  let frame : frame = Hashtbl.create 8 in
+  List.iter2 (fun p v -> Hashtbl.replace frame p v) f.params args;
+  match exec_stmts ctx frame f.body with
+  | () -> Value.Unit
+  | exception Return_value v -> v
+
+(** Run [entry] (default ["main"]) of a compiled script with [args], over
+    the given effects handle. *)
+let run ?(entry = "main") ?(gas_limit = default_gas_limit) (c : compiled)
+    ~(args : Value.t list) (effects : (Loc.t, Value.t) Txn.effects) : Value.t
+    =
+  let ctx = { prog = c.prog; effects; gas = gas_limit } in
+  match Ast.find_func c.prog entry with
+  | None -> raise (Abort (Fmt.str "no entry function '%s'" entry))
+  | Some f -> call ctx f args
+
+(** Package a compiled script as a transaction for any executor. *)
+let txn ?entry ?gas_limit (c : compiled) ~(args : Value.t list) :
+    (Loc.t, Value.t, Value.t) Txn.t =
+ fun effects -> run ?entry ?gas_limit c ~args effects
+
+(** Like {!run}, but also reports the gas consumed. Gas is a deterministic
+    function of the execution path, so for a committed transaction it is
+    identical across executors and incarnations — a property the test suite
+    checks. *)
+let run_with_gas ?(entry = "main") ?(gas_limit = default_gas_limit)
+    (c : compiled) ~(args : Value.t list)
+    (effects : (Loc.t, Value.t) Txn.effects) : Value.t * int =
+  let ctx = { prog = c.prog; effects; gas = gas_limit } in
+  match Ast.find_func c.prog entry with
+  | None -> raise (Abort (Fmt.str "no entry function '%s'" entry))
+  | Some f ->
+      let value = call ctx f args in
+      (value, gas_limit - ctx.gas)
+
+(** Transaction variant reporting [(result, gas_used)] as its output. *)
+let txn_with_gas ?entry ?gas_limit (c : compiled) ~(args : Value.t list) :
+    (Loc.t, Value.t, Value.t * int) Txn.t =
+ fun effects -> run_with_gas ?entry ?gas_limit c ~args effects

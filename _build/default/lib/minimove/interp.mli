@@ -1,0 +1,61 @@
+(** The MiniMove interpreter: compiles scripts and packages them as
+    transactions over a {!Blockstm_kernel.Txn.effects} handle, so the same
+    contract code runs unchanged under Block-STM and every baseline
+    executor. Execution is gas-metered and deterministic given the values
+    reads return. *)
+
+open Blockstm_kernel
+open Mv_value
+
+(** Deterministic transaction failure, captured by executors as a [Failed]
+    output: [abort]/[assert], missing resources, type errors, division by
+    zero, out-of-gas. *)
+exception Abort of string
+
+type compiled
+
+val compile : ?require_main:bool -> string -> compiled
+(** Parse and statically check a MiniMove source string.
+    @raise Lexer.Lex_error on tokenization errors
+    @raise Parser.Parse_error on syntax errors
+    @raise Check.Check_error on unbound variables, arity mismatches, etc. *)
+
+val default_gas_limit : int
+
+val run :
+  ?entry:string ->
+  ?gas_limit:int ->
+  compiled ->
+  args:Value.t list ->
+  (Loc.t, Value.t) Txn.effects ->
+  Value.t
+(** Run [entry] (default ["main"]) with [args] over the given effects
+    handle; returns the entry function's return value.
+    @raise Abort on any deterministic transaction failure. *)
+
+val txn :
+  ?entry:string ->
+  ?gas_limit:int ->
+  compiled ->
+  args:Value.t list ->
+  (Loc.t, Value.t, Value.t) Txn.t
+(** Package a compiled script as a transaction for any executor. *)
+
+val run_with_gas :
+  ?entry:string ->
+  ?gas_limit:int ->
+  compiled ->
+  args:Value.t list ->
+  (Loc.t, Value.t) Txn.effects ->
+  Value.t * int
+(** Like {!run}, also reporting gas consumed — deterministic given the
+    execution path, hence identical across executors for a committed
+    transaction. *)
+
+val txn_with_gas :
+  ?entry:string ->
+  ?gas_limit:int ->
+  compiled ->
+  args:Value.t list ->
+  (Loc.t, Value.t, Value.t * int) Txn.t
+(** Transaction variant whose output is [(result, gas_used)]. *)

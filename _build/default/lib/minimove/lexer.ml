@@ -1,0 +1,238 @@
+(** Hand-written lexer for MiniMove. Tracks line numbers for diagnostics.
+    Supports [// line] comments, decimal and hexadecimal integers, string
+    literals with escapes, and address literals [@n] / [@0xabc]. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | ADDR of int
+  | KW_FUN
+  | KW_LET
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_ASSERT
+  | KW_ABORT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_EXISTS
+  | KW_LOAD
+  | KW_STORE
+  | KW_THEN  (* used by the conditional expression form *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ  (* = *)
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let token_name = function
+  | INT i -> Printf.sprintf "int(%d)" i
+  | STRING s -> Printf.sprintf "string(%S)" s
+  | IDENT s -> Printf.sprintf "ident(%s)" s
+  | ADDR a -> Printf.sprintf "@%d" a
+  | KW_FUN -> "fun"
+  | KW_LET -> "let"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_ASSERT -> "assert"
+  | KW_ABORT -> "abort"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_EXISTS -> "exists"
+  | KW_LOAD -> "load"
+  | KW_STORE -> "store"
+  | KW_THEN -> "then"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | DOT -> "."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+exception Lex_error of string * int  (** message, line *)
+
+let keywords =
+  [
+    ("fun", KW_FUN);
+    ("let", KW_LET);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("return", KW_RETURN);
+    ("assert", KW_ASSERT);
+    ("abort", KW_ABORT);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("exists", KW_EXISTS);
+    ("load", KW_LOAD);
+    ("store", KW_STORE);
+    ("then", KW_THEN);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(** Tokenize a full source string. Returns tokens paired with their line. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let hex_value c =
+    if is_digit c then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+    else Char.code c - Char.code 'A' + 10
+  in
+  let read_number () =
+    (* cursor at first digit *)
+    if peek 0 = Some '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+      i := !i + 2;
+      let v = ref 0 in
+      let digits = ref 0 in
+      while (match peek 0 with Some c -> is_hex c | None -> false) do
+        v := (!v * 16) + hex_value src.[!i];
+        incr digits;
+        incr i
+      done;
+      if !digits = 0 then raise (Lex_error ("bad hex literal", !line));
+      !v
+    end
+    else begin
+      let v = ref 0 in
+      while (match peek 0 with Some c -> is_digit c | None -> false) do
+        v := (!v * 10) + (Char.code src.[!i] - Char.code '0');
+        incr i
+      done;
+      !v
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then emit (INT (read_number ()))
+    else if c = '@' then begin
+      incr i;
+      (match peek 0 with
+      | Some d when is_digit d -> emit (ADDR (read_number ()))
+      | _ -> raise (Lex_error ("expected digits after '@'", !line)))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while (match peek 0 with Some c -> is_ident_char c | None -> false) do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        match peek 0 with
+        | None -> raise (Lex_error ("unterminated string", !line))
+        | Some '"' ->
+            closed := true;
+            incr i
+        | Some '\\' -> (
+            incr i;
+            match peek 0 with
+            | Some 'n' -> Buffer.add_char buf '\n'; incr i
+            | Some 't' -> Buffer.add_char buf '\t'; incr i
+            | Some '"' -> Buffer.add_char buf '"'; incr i
+            | Some '\\' -> Buffer.add_char buf '\\'; incr i
+            | _ -> raise (Lex_error ("bad escape", !line)))
+        | Some ch ->
+            Buffer.add_char buf ch;
+            incr i
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two t = emit t; i := !i + 2 in
+      let one t = emit t; incr i in
+      match (c, peek 1) with
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '=', _ -> one EQ
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '.', _ -> one DOT
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

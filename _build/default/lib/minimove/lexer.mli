@@ -1,0 +1,59 @@
+(** Hand-written lexer for MiniMove. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | ADDR of int
+  | KW_FUN
+  | KW_LET
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_ASSERT
+  | KW_ABORT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_EXISTS
+  | KW_LOAD
+  | KW_STORE
+  | KW_THEN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val token_name : token -> string
+
+exception Lex_error of string * int
+(** Message and source line. *)
+
+val keywords : (string * token) list
+(** Reserved words (identifiers may not collide with these). *)
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their source line; always ends with [EOF].
+    Supports [// line] comments, decimal/hex integers, string literals with
+    escapes, and address literals [@n] / [@0xabc].
+    @raise Lex_error on malformed input. *)

@@ -1,0 +1,68 @@
+(** Runtime values and global-storage locations for MiniMove.
+
+    Global state is keyed by (address, resource name) — the unit of conflict
+    detection, mirroring Move's global storage. These modules satisfy the
+    kernel's {!Blockstm_kernel.Intf.LOCATION} and
+    {!Blockstm_kernel.Intf.VALUE} signatures, so MiniMove contracts run
+    unchanged through Block-STM and every baseline executor. *)
+
+module Value = struct
+  type t =
+    | Unit
+    | Int of int
+    | Bool of bool
+    | Str of string
+    | Addr of int
+    | Struct of string * (string * t) list
+        (** Resource/struct: name and fields in declaration order. *)
+
+  let rec equal a b =
+    match (a, b) with
+    | Unit, Unit -> true
+    | Int x, Int y -> Int.equal x y
+    | Bool x, Bool y -> Bool.equal x y
+    | Str x, Str y -> String.equal x y
+    | Addr x, Addr y -> Int.equal x y
+    | Struct (n1, f1), Struct (n2, f2) ->
+        String.equal n1 n2
+        && List.length f1 = List.length f2
+        && List.for_all2
+             (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+             f1 f2
+    | _ -> false
+
+  let rec pp ppf = function
+    | Unit -> Fmt.string ppf "()"
+    | Int i -> Fmt.int ppf i
+    | Bool b -> Fmt.bool ppf b
+    | Str s -> Fmt.pf ppf "%S" s
+    | Addr a -> Fmt.pf ppf "@%d" a
+    | Struct (name, fields) ->
+        Fmt.pf ppf "%s { %a }" name
+          (Fmt.list ~sep:Fmt.comma (fun ppf (f, v) ->
+               Fmt.pf ppf "%s: %a" f pp v))
+          fields
+
+  let type_name = function
+    | Unit -> "unit"
+    | Int _ -> "int"
+    | Bool _ -> "bool"
+    | Str _ -> "string"
+    | Addr _ -> "address"
+    | Struct (n, _) -> n
+end
+
+module Loc = struct
+  type t = { addr : int; resource : string }
+
+  let make ~addr ~resource = { addr; resource }
+  let equal a b = a.addr = b.addr && String.equal a.resource b.resource
+  let hash { addr; resource } = (addr * 0x9E3779B1) lxor Hashtbl.hash resource
+
+  let compare a b =
+    match Int.compare a.addr b.addr with
+    | 0 -> String.compare a.resource b.resource
+    | c -> c
+
+  let pp ppf { addr; resource } = Fmt.pf ppf "@%d/%s" addr resource
+end

@@ -1,0 +1,340 @@
+(** Recursive-descent parser for MiniMove.
+
+    Grammar (informal):
+    {v
+    program := func*
+    func    := "fun" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block   := "{" stmt* "}"
+    stmt    := "let" IDENT "=" expr ";"
+             | IDENT "=" expr ";"
+             | "store" "(" expr "," IDENT "," expr ")" ";"
+             | "if" "(" expr ")" block ["else" block]
+             | "while" "(" expr ")" block
+             | "assert" "(" expr "," STRING ")" ";"
+             | "abort" STRING ";"
+             | "return" expr ";"
+             | expr ";"
+    expr    := "if" expr "then" expr "else" expr | or
+    or      := and ("||" and)*         and := cmp ("&&" cmp)*
+    cmp     := add [("=="|"!="|"<"|"<="|">"|">=") add]
+    add     := mul (("+"|"-") mul)*    mul := unary (("*"|"/"|"%") unary)*
+    unary   := ("!"|"-") unary | postfix
+    postfix := primary ("." IDENT)*
+    primary := INT | STRING | "@"INT | "true" | "false" | "(" ")"
+             | "(" expr ")" | "exists" "(" expr "," IDENT ")"
+             | "load" "(" expr "," IDENT ")" | IDENT "(" args ")"
+             | IDENT "{" [IDENT ":" expr ("," ...)*] "}" | IDENT
+    v} *)
+
+open Lexer
+
+exception Parse_error of string * int  (** message, line *)
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s (got %s)" msg (token_name (peek st)),
+                      line st))
+
+let expect st tok msg =
+  if peek st = tok then advance st else error st msg
+
+let expect_ident st msg =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      x
+  | _ -> error st msg
+
+let expect_string st msg =
+  match peek st with
+  | STRING s ->
+      advance st;
+      s
+  | _ -> error st msg
+
+let rec parse_expr st : Ast.expr =
+  match peek st with
+  | KW_IF ->
+      (* Expression conditional: if c then e1 else e2 *)
+      advance st;
+      let c = parse_expr st in
+      expect st KW_THEN "expected 'then'";
+      let t = parse_expr st in
+      expect st KW_ELSE "expected 'else'";
+      let e = parse_expr st in
+      Ast.If_expr (c, t, e)
+  | _ -> parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = OROR do
+    advance st;
+    let rhs = parse_and st in
+    lhs := Ast.Binop (Or, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while peek st = ANDAND do
+    advance st;
+    let rhs = parse_cmp st in
+    lhs := Ast.Binop (And, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | EQEQ -> Some Ast.Eq
+    | NEQ -> Some Ast.Neq
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      let rhs = parse_add st in
+      Ast.Binop (op, lhs, rhs)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | PLUS ->
+        advance st;
+        lhs := Ast.Binop (Add, !lhs, parse_mul st)
+    | MINUS ->
+        advance st;
+        lhs := Ast.Binop (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | STAR ->
+        advance st;
+        lhs := Ast.Binop (Mul, !lhs, parse_unary st)
+    | SLASH ->
+        advance st;
+        lhs := Ast.Binop (Div, !lhs, parse_unary st)
+    | PERCENT ->
+        advance st;
+        lhs := Ast.Binop (Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | BANG ->
+      advance st;
+      Ast.Unop (Not, parse_unary st)
+  | MINUS ->
+      advance st;
+      Ast.Unop (Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  while peek st = DOT do
+    advance st;
+    let f = expect_ident st "expected field name after '.'" in
+    e := Ast.Field (!e, f)
+  done;
+  !e
+
+and parse_args st =
+  expect st LPAREN "expected '('";
+  if peek st = RPAREN then (advance st; [])
+  else begin
+    let args = ref [ parse_expr st ] in
+    while peek st = COMMA do
+      advance st;
+      args := parse_expr st :: !args
+    done;
+    expect st RPAREN "expected ')'";
+    List.rev !args
+  end
+
+and parse_primary st =
+  match peek st with
+  | INT i ->
+      advance st;
+      Ast.Int i
+  | STRING s ->
+      advance st;
+      Ast.Str s
+  | ADDR a ->
+      advance st;
+      Ast.Addr a
+  | KW_TRUE ->
+      advance st;
+      Ast.Bool true
+  | KW_FALSE ->
+      advance st;
+      Ast.Bool false
+  | LPAREN ->
+      advance st;
+      if peek st = RPAREN then (advance st; Ast.Unit)
+      else begin
+        let e = parse_expr st in
+        expect st RPAREN "expected ')'";
+        e
+      end
+  | KW_EXISTS ->
+      advance st;
+      expect st LPAREN "expected '(' after exists";
+      let a = parse_expr st in
+      expect st COMMA "expected ','";
+      let r = expect_ident st "expected resource name" in
+      expect st RPAREN "expected ')'";
+      Ast.Exists (a, r)
+  | KW_LOAD ->
+      advance st;
+      expect st LPAREN "expected '(' after load";
+      let a = parse_expr st in
+      expect st COMMA "expected ','";
+      let r = expect_ident st "expected resource name" in
+      expect st RPAREN "expected ')'";
+      Ast.Load (a, r)
+  | IDENT x -> (
+      advance st;
+      match peek st with
+      | LPAREN -> Ast.Call (x, parse_args st)
+      | LBRACE ->
+          advance st;
+          let fields = ref [] in
+          if peek st <> RBRACE then begin
+            let field () =
+              let f = expect_ident st "expected field name" in
+              expect st COLON "expected ':'";
+              let e = parse_expr st in
+              (f, e)
+            in
+            fields := [ field () ];
+            while peek st = COMMA do
+              advance st;
+              fields := field () :: !fields
+            done
+          end;
+          expect st RBRACE "expected '}'";
+          Ast.Record (x, List.rev !fields)
+      | _ -> Ast.Var x)
+  | _ -> error st "expected expression"
+
+let rec parse_block st : Ast.stmt list =
+  expect st LBRACE "expected '{'";
+  let stmts = ref [] in
+  while peek st <> RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+and parse_stmt st : Ast.stmt =
+  match peek st with
+  | KW_LET ->
+      advance st;
+      let x = expect_ident st "expected variable name" in
+      expect st EQ "expected '='";
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Let (x, e)
+  | KW_STORE ->
+      advance st;
+      expect st LPAREN "expected '(' after store";
+      let a = parse_expr st in
+      expect st COMMA "expected ','";
+      let r = expect_ident st "expected resource name" in
+      expect st COMMA "expected ','";
+      let v = parse_expr st in
+      expect st RPAREN "expected ')'";
+      expect st SEMI "expected ';'";
+      Ast.Store (a, r, v)
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "expected '(' after if";
+      let c = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let t = parse_block st in
+      let e = if peek st = KW_ELSE then (advance st; parse_block st) else [] in
+      Ast.If (c, t, e)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN "expected '(' after while";
+      let c = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let b = parse_block st in
+      Ast.While (c, b)
+  | KW_ASSERT ->
+      advance st;
+      expect st LPAREN "expected '(' after assert";
+      let e = parse_expr st in
+      expect st COMMA "expected ','";
+      let m = expect_string st "expected message string" in
+      expect st RPAREN "expected ')'";
+      expect st SEMI "expected ';'";
+      Ast.Assert (e, m)
+  | KW_ABORT ->
+      advance st;
+      let m = expect_string st "expected message string" in
+      expect st SEMI "expected ';'";
+      Ast.Abort m
+  | KW_RETURN ->
+      advance st;
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Return e
+  | IDENT x when fst st.toks.(st.pos + 1) = EQ ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Assign (x, e)
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Expr e
+
+let parse_func st : Ast.func =
+  let fline = line st in
+  expect st KW_FUN "expected 'fun'";
+  let fname = expect_ident st "expected function name" in
+  expect st LPAREN "expected '('";
+  let params = ref [] in
+  if peek st <> RPAREN then begin
+    params := [ expect_ident st "expected parameter name" ];
+    while peek st = COMMA do
+      advance st;
+      params := expect_ident st "expected parameter name" :: !params
+    done
+  end;
+  expect st RPAREN "expected ')'";
+  let body = parse_block st in
+  { Ast.fname; params = List.rev !params; body; line = fline }
+
+(** Parse a full MiniMove source string into a program. *)
+let parse (src : string) : Ast.program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let funcs = ref [] in
+  while peek st <> EOF do
+    funcs := parse_func st :: !funcs
+  done;
+  { Ast.funcs = List.rev !funcs }

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for MiniMove. See the grammar in the
+    implementation header; precedence from loosest to tightest:
+    [||], [&&], comparisons, [+ -], [* / %], unary [! -], postfix [.field].
+    The conditional expression form is [if c then e1 else e2] (no parens);
+    the statement form is [if (c) { ... } else { ... }]. *)
+
+exception Parse_error of string * int
+(** Message and source line. *)
+
+val parse : string -> Ast.program
+(** @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on tokenization errors *)

@@ -1,0 +1,75 @@
+(** Canonical executor instantiations over the MiniMove location/value
+    types, so contracts, examples and tests all share one set of applied
+    functors (and hence compatible types).
+
+    Also provides genesis-state builders for the stdlib contracts. *)
+
+open Mv_value
+
+module Store = Blockstm_storage.Memstore.Make (Loc) (Value)
+module Bstm = Blockstm_core.Block_stm.Make (Loc) (Value)
+module Seq = Blockstm_baselines.Sequential.Make (Loc) (Value)
+module BohmX = Blockstm_baselines.Bohm.Make (Loc) (Value)
+module LitmX = Blockstm_baselines.Litm.Make (Loc) (Value)
+
+let loc ~addr ~resource = Loc.make ~addr ~resource
+
+(** Genesis for the {!Stdlib_contracts.coin_source} contract: on-chain
+    config at address 0, [num_accounts] funded accounts (addresses 1..n). *)
+let coin_genesis ?(initial_balance = 1_000_000_000) ~num_accounts () : Store.t
+    =
+  let store = Store.create ~initial_size:((num_accounts * 2) + 16) () in
+  Store.set store
+    (loc ~addr:0 ~resource:"Config")
+    (Value.Struct
+       ("Config", [ ("chain_id", Value.Int 1); ("block_time", Value.Int 1719) ]));
+  Store.set store
+    (loc ~addr:0 ~resource:"GasSchedule")
+    (Value.Struct ("GasSchedule", [ ("unit_price", Value.Int 1) ]));
+  for a = 1 to num_accounts do
+    Store.set store
+      (loc ~addr:a ~resource:"Coin")
+      (Value.Struct ("Coin", [ ("value", Value.Int initial_balance) ]));
+    Store.set store
+      (loc ~addr:a ~resource:"Account")
+      (Value.Struct
+         ("Account", [ ("seq", Value.Int 0); ("frozen", Value.Bool false) ]))
+  done;
+  store
+
+(** Genesis for the auction contract: an open auction at [auction_house]
+    plus funded bidder accounts (reuses the coin layout). *)
+let auction_genesis ?(initial_balance = 1_000_000_000) ~num_bidders
+    ~auction_house () : Store.t =
+  let store = coin_genesis ~initial_balance ~num_accounts:num_bidders () in
+  Store.set store
+    (loc ~addr:auction_house ~resource:"Auction")
+    (Value.Struct
+       ( "Auction",
+         [
+           ("highest_bid", Value.Int 0);
+           ("highest_bidder", Value.Addr 0);
+           ("closed", Value.Bool false);
+         ] ));
+  store
+
+(** Genesis for the AMM contract: a pool with the given reserves plus funded
+    trader accounts. *)
+let amm_genesis ?(initial_balance = 1_000_000_000) ?(reserve1 = 10_000_000)
+    ?(reserve2 = 10_000_000) ~num_traders ~pool () : Store.t =
+  let store = coin_genesis ~initial_balance ~num_accounts:num_traders () in
+  Store.set store
+    (loc ~addr:pool ~resource:"Pool")
+    (Value.Struct
+       ( "Pool",
+         [ ("reserve1", Value.Int reserve1); ("reserve2", Value.Int reserve2) ]
+       ));
+  store
+
+(** Genesis for the NFT registry contract. *)
+let nft_genesis ~num_minters ~registry () : Store.t =
+  let store = coin_genesis ~num_accounts:num_minters () in
+  Store.set store
+    (loc ~addr:registry ~resource:"Registry")
+    (Value.Struct ("Registry", [ ("next_id", Value.Int 0) ]));
+  store

@@ -1,0 +1,151 @@
+(** The MiniMove "standard library": contract sources used by examples,
+    tests and benchmarks — a coin with p2p transfer scripts mirroring the
+    paper's benchmark transactions, a counter, an English auction, and an
+    NFT mint registry. *)
+
+(** Coin + account module with the standard p2p transfer as [main].
+    Arguments: [main(sender, recipient, amount, exp_seq)]. Mirrors the Diem
+    standard p2p script: prologue verification against on-chain config,
+    frozen/sequence/balance checks, then 4 writes (both balances, both
+    sequence numbers). Returns the sender's new balance. *)
+let coin_source =
+  {|
+// Coin: balances, account metadata and the p2p transfer script.
+fun config_checks() {
+  let cfg = load(@0, Config);
+  assert(cfg.chain_id == 1, "wrong chain");
+  assert(cfg.block_time > 0, "bad block time");
+  let gas = load(@0, GasSchedule);
+  assert(gas.unit_price >= 0, "bad gas schedule");
+  return cfg.block_time;
+}
+
+fun withdraw(sender, amount) {
+  let bal = load(sender, Coin);
+  assert(bal.value >= amount, "insufficient balance");
+  store(sender, Coin, Coin { value: bal.value - amount });
+  return amount;
+}
+
+fun deposit(recipient, amount) {
+  let bal = load(recipient, Coin);
+  store(recipient, Coin, Coin { value: bal.value + amount });
+  return ();
+}
+
+fun main(sender, recipient, amount, exp_seq) {
+  config_checks();
+  let acct = load(sender, Account);
+  assert(!acct.frozen, "sender frozen");
+  assert(acct.seq == exp_seq, "sequence number mismatch");
+  let racct = load(recipient, Account);
+  assert(!racct.frozen, "recipient frozen");
+  withdraw(sender, amount);
+  deposit(recipient, amount);
+  store(sender, Account, Account { seq: acct.seq + 1, frozen: acct.frozen });
+  let final = load(sender, Coin);
+  return final.value;
+}
+|}
+
+(** Shared counter: every call increments the counter owned by [owner].
+    Fully sequential when all transactions target the same owner. *)
+let counter_source =
+  {|
+fun main(owner) {
+  let c = load(owner, Counter);
+  store(owner, Counter, Counter { value: c.value + 1 });
+  return c.value + 1;
+}
+|}
+
+(** English auction: [main(auction_house, bidder, bid)] escrows the bid if
+    it beats the current highest, refunding the previous leader. Returns 1
+    if the bid took the lead, 0 otherwise. A canonical high-contention
+    workload (every transaction reads and conditionally writes the same
+    auction resource). *)
+let auction_source =
+  {|
+fun refund(who, amount) {
+  if (who != @0) {
+    let bal = load(who, Coin);
+    store(who, Coin, Coin { value: bal.value + amount });
+  }
+  return ();
+}
+
+fun main(auction_house, bidder, bid) {
+  let a = load(auction_house, Auction);
+  assert(!a.closed, "auction closed");
+  assert(bid > 0, "bid must be positive");
+  if (bid > a.highest_bid) {
+    let b = load(bidder, Coin);
+    assert(b.value >= bid, "insufficient balance for bid");
+    refund(a.highest_bidder, a.highest_bid);
+    store(bidder, Coin, Coin { value: b.value - bid });
+    store(auction_house, Auction,
+          Auction { highest_bid: bid, highest_bidder: bidder, closed: false });
+    return 1;
+  }
+  return 0;
+}
+|}
+
+(** Constant-product AMM (a Uniswap-v2-style pool): [main(pool, trader,
+    amount_in, coin_in)] swaps [amount_in] of coin [coin_in] (1 or 2) for
+    the other coin, charging a 0.3% fee. Every swap reads and writes the
+    single pool resource — the paper's intro workload where "economic
+    opportunities (such as auctions and arbitrage)" concentrate accesses.
+    Returns the amount received. *)
+let amm_source =
+  {|
+fun out_amount(reserve_in, reserve_out, amount_in) {
+  // Constant product with a 0.3% fee: dy = y*dx*997 / (x*1000 + dx*997).
+  let with_fee = amount_in * 997;
+  return reserve_out * with_fee / (reserve_in * 1000 + with_fee);
+}
+
+fun main(pool, trader, amount_in, coin_in) {
+  assert(amount_in > 0, "amount must be positive");
+  assert(coin_in == 1 || coin_in == 2, "unknown coin");
+  let p = load(pool, Pool);
+  let t = load(trader, Coin);
+  assert(t.value >= amount_in, "insufficient balance");
+  let out = if coin_in == 1
+            then out_amount(p.reserve1, p.reserve2, amount_in)
+            else out_amount(p.reserve2, p.reserve1, amount_in);
+  assert(out > 0, "dust trade");
+  if (coin_in == 1) {
+    store(pool, Pool, Pool { reserve1: p.reserve1 + amount_in,
+                             reserve2: p.reserve2 - out });
+  } else {
+    store(pool, Pool, Pool { reserve1: p.reserve1 - out,
+                             reserve2: p.reserve2 + amount_in });
+  }
+  // Net effect on the trader's single-coin balance (demo simplification).
+  store(trader, Coin, Coin { value: t.value - amount_in + out });
+  return out;
+}
+|}
+
+(** NFT mint: [main(registry, minter)] takes the next id from a global
+    registry and records the token under an address derived from the id.
+    The registry counter is the contention point; token records never
+    conflict. Returns the minted id. *)
+let nft_source =
+  {|
+fun token_slot(id) {
+  // Token records live in a reserved address range.
+  return to_addr(1000000 + id);
+}
+
+fun main(registry, minter) {
+  let r = load(registry, Registry);
+  let id = r.next_id;
+  store(registry, Registry, Registry { next_id: id + 1 });
+  let m = load(minter, Account);
+  assert(!m.frozen, "minter frozen");
+  store(token_slot(id), Token, Token { id: id, owner: minter });
+  return id;
+}
+|}

@@ -1,0 +1,1 @@
+lib/mvmemory/mvmemory.ml: Array Atomic Blockstm_kernel Domain Fun Hashtbl Int Intf List Map Mutex Read_origin Version

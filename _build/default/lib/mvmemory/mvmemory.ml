@@ -1,0 +1,267 @@
+(** Multi-version shared memory (the paper's MVMemory, Algorithms 2–3).
+
+    For each memory location, [data] stores the latest value written per
+    transaction index together with the incarnation that wrote it, or an
+    [ESTIMATE] marker left behind by an aborted incarnation. A read by
+    transaction [j] returns the entry written by the highest transaction
+    [i < j] (speculative best guess under the preset serialization order);
+    hitting an [ESTIMATE] signals a dependency on the blocking transaction.
+
+    Concurrency: as in the paper's implementation (Section 4), [data] is a
+    hash structure over locations with lock-protected per-location search
+    trees ([Map.Make(Int)] keyed by [txn_idx]). Per-transaction bookkeeping
+    ([last_written_locations], [last_read_set]) uses RCU-style atomic swaps of
+    immutable arrays. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module Tbl = Hashtbl.Make (L)
+  module IMap = Map.Make (Int)
+
+  type entry =
+    | Written of { incarnation : int; value : V.t }
+    | Estimate  (** Placeholder left by an aborted incarnation's write. *)
+
+  (* A location's version chain. [versions] is an immutable map swapped under
+     [mutex]; readers take the lock only to load the root pointer. *)
+  type cell = { mutex : Mutex.t; mutable versions : entry IMap.t }
+
+  type read_result =
+    | Ok of Version.t * V.t
+        (** Value written by the highest lower transaction, with its version. *)
+    | Not_found  (** No lower transaction wrote here: read from storage. *)
+    | Read_error of { blocking_txn_idx : int }
+        (** Hit an [ESTIMATE]: dependency on [blocking_txn_idx]. *)
+
+  (** One read descriptor per (dynamic) read performed by the incarnation. *)
+  type read_set = (L.t * Read_origin.t) array
+
+  type write_set = (L.t * V.t) array
+
+  type t = {
+    nshards : int;
+    shards : cell Tbl.t array;
+    shard_locks : Mutex.t array;
+    last_written : L.t array Atomic.t array;
+    last_reads : read_set Atomic.t array;
+    block_size : int;
+  }
+
+  let create ?(nshards = 64) ~block_size () =
+    if block_size < 0 then invalid_arg "Mvmemory.create: negative block_size";
+    if nshards <= 0 then invalid_arg "Mvmemory.create: nshards must be > 0";
+    {
+      nshards;
+      shards = Array.init nshards (fun _ -> Tbl.create 64);
+      shard_locks = Array.init nshards (fun _ -> Mutex.create ());
+      last_written = Array.init block_size (fun _ -> Atomic.make [||]);
+      last_reads = Array.init block_size (fun _ -> Atomic.make [||]);
+      block_size;
+    }
+
+  let block_size t = t.block_size
+  let shard_of t loc = L.hash loc land max_int mod t.nshards
+
+  (* Find the cell for [loc], creating it if [create] says so. *)
+  let find_cell ?(create = false) t loc : cell option =
+    let s = shard_of t loc in
+    let lock = t.shard_locks.(s) in
+    let tbl = t.shards.(s) in
+    Mutex.lock lock;
+    let cell =
+      match Tbl.find_opt tbl loc with
+      | Some c -> Some c
+      | None ->
+          if create then (
+            let c = { mutex = Mutex.create (); versions = IMap.empty } in
+            Tbl.add tbl loc c;
+            Some c)
+          else None
+    in
+    Mutex.unlock lock;
+    cell
+
+  let cell_versions (c : cell) : entry IMap.t =
+    Mutex.lock c.mutex;
+    let v = c.versions in
+    Mutex.unlock c.mutex;
+    v
+
+  let cell_update (c : cell) (f : entry IMap.t -> entry IMap.t) : unit =
+    Mutex.lock c.mutex;
+    c.versions <- f c.versions;
+    Mutex.unlock c.mutex
+
+  (* Algorithm 3, [read]: entry by the highest transaction index < txn_idx. *)
+  let read t (loc : L.t) ~(txn_idx : int) : read_result =
+    match find_cell t loc with
+    | None -> Not_found
+    | Some cell -> (
+        let versions = cell_versions cell in
+        match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with
+        | None -> Not_found
+        | Some (idx, Estimate) -> Read_error { blocking_txn_idx = idx }
+        | Some (idx, Written { incarnation; value }) ->
+            Ok (Version.make ~txn_idx:idx ~incarnation, value))
+
+  (* Algorithm 2, [apply_write_set]. *)
+  let apply_write_set t ~txn_idx ~incarnation (write_set : write_set) : unit =
+    Array.iter
+      (fun (loc, value) ->
+        match find_cell ~create:true t loc with
+        | None -> assert false
+        | Some cell ->
+            cell_update cell
+              (IMap.add txn_idx (Written { incarnation; value })))
+      write_set
+
+  let remove_entry t (loc : L.t) ~txn_idx : unit =
+    match find_cell t loc with
+    | None -> ()
+    | Some cell -> cell_update cell (IMap.remove txn_idx)
+
+  (* Algorithm 2, [rcu_update_written_locations]: replace the transaction's
+     recorded write locations, removing stale entries; report whether a
+     location was written that the previous incarnation did not write. *)
+  let rcu_update_written_locations t ~txn_idx (new_locations : L.t array) :
+      bool =
+    let prev_locations = Atomic.get t.last_written.(txn_idx) in
+    let in_new = Tbl.create (Array.length new_locations * 2 + 1) in
+    Array.iter (fun l -> Tbl.replace in_new l ()) new_locations;
+    Array.iter
+      (fun l -> if not (Tbl.mem in_new l) then remove_entry t l ~txn_idx)
+      prev_locations;
+    let in_prev = Tbl.create (Array.length prev_locations * 2 + 1) in
+    Array.iter (fun l -> Tbl.replace in_prev l ()) prev_locations;
+    Atomic.set t.last_written.(txn_idx) new_locations;
+    Array.exists (fun l -> not (Tbl.mem in_prev l)) new_locations
+
+  (* Algorithm 2, [record]: returns [wrote_new_location]. *)
+  let record t (version : Version.t) (read_set : read_set)
+      (write_set : write_set) : bool =
+    let txn_idx = Version.txn_idx version in
+    let incarnation = Version.incarnation version in
+    apply_write_set t ~txn_idx ~incarnation write_set;
+    let new_locations = Array.map fst write_set in
+    let wrote_new = rcu_update_written_locations t ~txn_idx new_locations in
+    Atomic.set t.last_reads.(txn_idx) read_set;
+    wrote_new
+
+  (* Algorithm 2, [convert_writes_to_estimates]: called on abort. *)
+  let convert_writes_to_estimates t (txn_idx : int) : unit =
+    let prev_locations = Atomic.get t.last_written.(txn_idx) in
+    Array.iter
+      (fun loc ->
+        match find_cell t loc with
+        | None -> assert false (* entry was written by [record] *)
+        | Some cell -> cell_update cell (IMap.add txn_idx Estimate))
+      prev_locations
+
+  (** Ablation variant of abort handling (§3.2.1: "removing the entries can
+      also accomplish this"): drop the aborted incarnation's entries instead
+      of leaving ESTIMATE markers, so no dependency information survives. *)
+  let remove_written_entries t (txn_idx : int) : unit =
+    let prev_locations = Atomic.get t.last_written.(txn_idx) in
+    Array.iter (fun loc -> remove_entry t loc ~txn_idx) prev_locations;
+    Atomic.set t.last_written.(txn_idx) [||]
+
+  (** Seed ESTIMATE markers from a declared (estimated) write-set before the
+      first incarnation runs (§7 future-work: write-set pre-estimation).
+      Recorded as the transaction's last written locations so that the first
+      [record] clears whatever the incarnation did not actually write. *)
+  let prefill_estimates t (txn_idx : int) (locs : L.t array) : unit =
+    Array.iter
+      (fun loc ->
+        match find_cell ~create:true t loc with
+        | None -> assert false
+        | Some cell -> cell_update cell (IMap.add txn_idx Estimate))
+      locs;
+    Atomic.set t.last_written.(txn_idx) locs
+
+  (* Algorithm 3, [validate_read_set]: re-read every location in the last
+     recorded read-set and compare descriptors. *)
+  let validate_read_set t (txn_idx : int) : bool =
+    let prior_reads = Atomic.get t.last_reads.(txn_idx) in
+    Array.for_all
+      (fun (loc, origin) ->
+        match (read t loc ~txn_idx, (origin : Read_origin.t)) with
+        | Read_error _, _ -> false (* previously read something, now ESTIMATE *)
+        | Not_found, Storage -> true
+        | Not_found, Mv _ -> false (* entry disappeared *)
+        | Ok (v, _), Mv v' -> Version.equal v v'
+        | Ok _, Storage -> false (* a lower transaction now wrote here *))
+      prior_reads
+
+  (** Last recorded read-set of [txn_idx] (RCU load). Used by the paper's
+      re-execution optimization (Section 4): check prior reads for ESTIMATEs
+      before paying for a full VM re-execution. *)
+  let last_read_set t (txn_idx : int) : read_set =
+    Atomic.get t.last_reads.(txn_idx)
+
+  (** Locations written by the last finished incarnation of [txn_idx]. *)
+  let written_locations t (txn_idx : int) : L.t array =
+    Atomic.get t.last_written.(txn_idx)
+
+  (* All locations ever written (deduplicated), in deterministic order. *)
+  let all_locations t : L.t list =
+    let acc = ref [] in
+    for s = 0 to t.nshards - 1 do
+      Mutex.lock t.shard_locks.(s);
+      Tbl.iter (fun loc _ -> acc := loc :: !acc) t.shards.(s);
+      Mutex.unlock t.shard_locks.(s)
+    done;
+    List.sort L.compare !acc
+
+  (* Algorithm 3, [snapshot]: final value for every affected location; called
+     after the block commits. *)
+  let snapshot t : (L.t * V.t) list =
+    List.filter_map
+      (fun loc ->
+        match read t loc ~txn_idx:t.block_size with
+        | Ok (_, value) -> Some (loc, value)
+        | Not_found -> None
+        | Read_error _ ->
+            (* Impossible after commit: all estimates are resolved. *)
+            assert false)
+      (all_locations t)
+
+  (** Parallel snapshot (the paper computes block outputs "parallelized, per
+      affected memory locations", §4.1): partitions the affected locations
+      across [num_domains] domains. Only call after the block commits. *)
+  let snapshot_parallel ?(num_domains = 2) t : (L.t * V.t) list =
+    let locs = Array.of_list (all_locations t) in
+    let n = Array.length locs in
+    if num_domains <= 1 || n < 64 then snapshot t
+    else begin
+      let results = Array.make n None in
+      let chunk = (n + num_domains - 1) / num_domains in
+      let work d () =
+        let lo = d * chunk in
+        let hi = min n (lo + chunk) - 1 in
+        for i = lo to hi do
+          match read t locs.(i) ~txn_idx:t.block_size with
+          | Ok (_, value) -> results.(i) <- Some (locs.(i), value)
+          | Not_found -> ()
+          | Read_error _ -> assert false
+        done
+      in
+      let domains =
+        Array.init (num_domains - 1) (fun d -> Domain.spawn (work (d + 1)))
+      in
+      work 0 ();
+      Array.iter Domain.join domains;
+      (* [locs] is sorted, so the filtered result is too. *)
+      Array.to_list results |> List.filter_map Fun.id
+    end
+
+  (** Diagnostic: number of version entries currently stored. *)
+  let entry_count t : int =
+    let n = ref 0 in
+    for s = 0 to t.nshards - 1 do
+      Mutex.lock t.shard_locks.(s);
+      Tbl.iter (fun _ c -> n := !n + IMap.cardinal c.versions) t.shards.(s);
+      Mutex.unlock t.shard_locks.(s)
+    done;
+    !n
+end

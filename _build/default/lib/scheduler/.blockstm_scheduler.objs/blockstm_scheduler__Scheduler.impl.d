@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.ml: Array Atomic Atomic_util Blockstm_kernel Fmt List Mutex Version

@@ -1,0 +1,1 @@
+lib/scheduler/scheduler.mli: Blockstm_kernel Format Version

@@ -1,0 +1,308 @@
+(** The collaborative scheduler (the paper's Scheduler module,
+    Algorithms 5–9).
+
+    Maintains two logical ordered sets — pending {e execution} tasks and
+    pending {e validation} tasks — each implemented as a single atomic counter
+    ([execution_idx] / [validation_idx]) combined with the per-transaction
+    status array. Threads claim the lowest-indexed ready task by
+    fetch-and-incrementing the relevant counter; adding a task back lowers the
+    counter with an atomic [fetch_min].
+
+    Completion is detected by [check_done]'s double-collect (the paper's
+    Section 3.3.2): both indices at or past the block size, zero active tasks,
+    and [decrease_cnt] unchanged across the observation window.
+
+    Deviation from the paper's pseudo-code, documented in DESIGN.md §4:
+    [try_incarnate] here is side-effect-free on [num_active_tasks]; each
+    caller performs exactly one decrement on its own failure path. Taken
+    literally, pseudo-code Lines 116+190 double-decrement when a re-execution
+    task is claimed by a racing thread inside [finish_validation]. *)
+
+open Blockstm_kernel
+
+type status_kind =
+  | Ready_to_execute
+  | Executing
+  | Executed
+  | Aborting
+
+let pp_status_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Ready_to_execute -> "READY_TO_EXECUTE"
+    | Executing -> "EXECUTING"
+    | Executed -> "EXECUTED"
+    | Aborting -> "ABORTING")
+
+type txn_state = {
+  st_mutex : Mutex.t;
+  mutable incarnation : int;
+  mutable kind : status_kind;
+}
+
+type dep_state = { dep_mutex : Mutex.t; mutable dependents : int list }
+
+type task =
+  | Execution of Version.t
+  | Validation of Version.t
+
+let pp_task ppf = function
+  | Execution v -> Fmt.pf ppf "execute%a" Version.pp v
+  | Validation v -> Fmt.pf ppf "validate%a" Version.pp v
+
+type t = {
+  block_size : int;
+  execution_idx : int Atomic.t;
+  validation_idx : int Atomic.t;
+  decrease_cnt : int Atomic.t;
+  num_active_tasks : int Atomic.t;
+  done_marker : bool Atomic.t;
+  status : txn_state array;
+  deps : dep_state array;
+}
+
+let create ~block_size =
+  if block_size < 0 then invalid_arg "Scheduler.create: negative block_size";
+  {
+    block_size;
+    execution_idx = Atomic.make 0;
+    validation_idx = Atomic.make 0;
+    decrease_cnt = Atomic.make 0;
+    num_active_tasks = Atomic.make 0;
+    done_marker = Atomic.make false;
+    status =
+      Array.init block_size (fun _ ->
+          {
+            st_mutex = Mutex.create ();
+            incarnation = 0;
+            kind = Ready_to_execute;
+          });
+    deps =
+      Array.init block_size (fun _ ->
+          { dep_mutex = Mutex.create (); dependents = [] });
+  }
+
+let block_size t = t.block_size
+
+(* --- Algorithm 5: utility procedures ------------------------------------ *)
+
+let decrease_execution_idx t ~target_idx =
+  ignore (Atomic_util.fetch_min t.execution_idx target_idx);
+  Atomic_util.incr t.decrease_cnt
+
+let decrease_validation_idx t ~target_idx =
+  ignore (Atomic_util.fetch_min t.validation_idx target_idx);
+  Atomic_util.incr t.decrease_cnt
+
+(* Double-collect on [decrease_cnt]: reads are sequenced explicitly (OCaml
+   application evaluates arguments right-to-left, so we avoid inline reads). *)
+let check_done t =
+  let observed_cnt = Atomic.get t.decrease_cnt in
+  let e = Atomic.get t.execution_idx in
+  let v = Atomic.get t.validation_idx in
+  let active = Atomic.get t.num_active_tasks in
+  let cnt_now = Atomic.get t.decrease_cnt in
+  if min e v >= t.block_size && active = 0 && observed_cnt = cnt_now then
+    Atomic.set t.done_marker true
+
+let done_ t = Atomic.get t.done_marker
+
+(* --- Status helpers ------------------------------------------------------ *)
+
+let with_status t idx f =
+  let s = t.status.(idx) in
+  Mutex.lock s.st_mutex;
+  let r = f s in
+  Mutex.unlock s.st_mutex;
+  r
+
+(** Observe a transaction's current (incarnation, status) — test/debug aid. *)
+let status t idx = with_status t idx (fun s -> (s.incarnation, s.kind))
+
+(* --- Algorithm 6: index / status interplay ------------------------------- *)
+
+(* Try to claim transaction [txn_idx] for execution: READY_TO_EXECUTE ->
+   EXECUTING. Returns the version to execute. No counter side effects (see
+   module comment). *)
+let try_incarnate t txn_idx : Version.t option =
+  if txn_idx < t.block_size then
+    with_status t txn_idx (fun s ->
+        if s.kind = Ready_to_execute then (
+          s.kind <- Executing;
+          Some (Version.make ~txn_idx ~incarnation:s.incarnation))
+        else None)
+  else None
+
+let next_version_to_execute t : Version.t option =
+  if Atomic.get t.execution_idx >= t.block_size then (
+    check_done t;
+    None)
+  else (
+    Atomic_util.incr t.num_active_tasks;
+    let idx_to_execute = Atomic_util.get_and_incr t.execution_idx in
+    match try_incarnate t idx_to_execute with
+    | Some v -> Some v
+    | None ->
+        (* No task created: revert the increment above. *)
+        Atomic_util.decr t.num_active_tasks;
+        None)
+
+let next_version_to_validate t : Version.t option =
+  if Atomic.get t.validation_idx >= t.block_size then (
+    check_done t;
+    None)
+  else (
+    Atomic_util.incr t.num_active_tasks;
+    let idx_to_validate = Atomic_util.get_and_incr t.validation_idx in
+    let version =
+      if idx_to_validate < t.block_size then
+        with_status t idx_to_validate (fun s ->
+            if s.kind = Executed then
+              Some
+                (Version.make ~txn_idx:idx_to_validate
+                   ~incarnation:s.incarnation)
+            else None)
+      else None
+    in
+    match version with
+    | Some v -> Some v
+    | None ->
+        Atomic_util.decr t.num_active_tasks;
+        None)
+
+(* --- Algorithm 7: next task ---------------------------------------------- *)
+
+let next_task t : task option =
+  if Atomic.get t.validation_idx < Atomic.get t.execution_idx then
+    match next_version_to_validate t with
+    | Some v -> Some (Validation v)
+    | None -> (
+        match next_version_to_execute t with
+        | Some v -> Some (Execution v)
+        | None -> None)
+  else
+    match next_version_to_execute t with
+    | Some v -> Some (Execution v)
+    | None -> None
+
+(* --- Algorithm 8: dependencies ------------------------------------------- *)
+
+(* Called when executing [txn_idx] read an ESTIMATE left by
+   [blocking_txn_idx]. Returns [false] if the dependency got resolved in the
+   meantime (caller must immediately retry execution); [true] if [txn_idx] is
+   now parked until [blocking_txn_idx]'s next incarnation finishes. Lock
+   order: dependency lock of the blocking txn, then status locks — the unique
+   global order (Claim 5) that makes deadlock impossible. *)
+let add_dependency t ~txn_idx ~blocking_txn_idx : bool =
+  let d = t.deps.(blocking_txn_idx) in
+  Mutex.lock d.dep_mutex;
+  let resolved =
+    with_status t blocking_txn_idx (fun s -> s.kind = Executed)
+  in
+  if resolved then (
+    Mutex.unlock d.dep_mutex;
+    false)
+  else (
+    with_status t txn_idx (fun s ->
+        (* Previous status must be EXECUTING: this thread is the executor. *)
+        assert (s.kind = Executing);
+        s.kind <- Aborting);
+    d.dependents <- txn_idx :: d.dependents;
+    Mutex.unlock d.dep_mutex;
+    (* Execution task aborted due to a dependency. *)
+    Atomic_util.decr t.num_active_tasks;
+    true)
+
+(* ABORTING(i) -> READY_TO_EXECUTE(i+1). *)
+let set_ready_status t txn_idx : unit =
+  with_status t txn_idx (fun s ->
+      assert (s.kind = Aborting);
+      s.incarnation <- s.incarnation + 1;
+      s.kind <- Ready_to_execute)
+
+let resume_dependencies t (dependent_txn_indices : int list) : unit =
+  List.iter (fun dep -> set_ready_status t dep) dependent_txn_indices;
+  match dependent_txn_indices with
+  | [] -> ()
+  | l ->
+      let min_dep = List.fold_left min max_int l in
+      decrease_execution_idx t ~target_idx:min_dep
+
+(* Called after an incarnation's writes were recorded in MVMemory. May hand a
+   validation task for the same version back to the caller (optimization:
+   when no new location was written, only this transaction needs
+   revalidation). *)
+let finish_execution t ~txn_idx ~incarnation ~wrote_new_location : task option
+    =
+  with_status t txn_idx (fun s ->
+      assert (s.kind = Executing && s.incarnation = incarnation);
+      s.kind <- Executed);
+  let d = t.deps.(txn_idx) in
+  Mutex.lock d.dep_mutex;
+  let deps = d.dependents in
+  d.dependents <- [];
+  Mutex.unlock d.dep_mutex;
+  resume_dependencies t deps;
+  if Atomic.get t.validation_idx > txn_idx then
+    if wrote_new_location then (
+      (* Schedule validation for txn_idx and everything above it. *)
+      decrease_validation_idx t ~target_idx:txn_idx;
+      Atomic_util.decr t.num_active_tasks;
+      None)
+    else
+      (* Hand the single validation task to the caller; the active-task count
+         transfers to it. *)
+      Some (Validation (Version.make ~txn_idx ~incarnation))
+  else (
+    (* validation_idx <= txn_idx: revalidation is already on its way. *)
+    Atomic_util.decr t.num_active_tasks;
+    None)
+
+(* --- Algorithm 9: validation aborts -------------------------------------- *)
+
+(* Only the first failing validation of a given version wins the abort:
+   EXECUTED(i) -> ABORTING(i). *)
+let try_validation_abort t (version : Version.t) : bool =
+  let txn_idx = Version.txn_idx version in
+  let incarnation = Version.incarnation version in
+  with_status t txn_idx (fun s ->
+      if s.incarnation = incarnation && s.kind = Executed then (
+        s.kind <- Aborting;
+        true)
+      else false)
+
+let finish_validation t ~txn_idx ~aborted : task option =
+  if aborted then (
+    set_ready_status t txn_idx;
+    (* All higher transactions may have read the aborted writes. *)
+    decrease_validation_idx t ~target_idx:(txn_idx + 1);
+    if Atomic.get t.execution_idx > txn_idx then (
+      match try_incarnate t txn_idx with
+      | Some v ->
+          (* Hand the re-execution task to the caller (count transfers). *)
+          Some (Execution v)
+      | None ->
+          (* Another thread already claimed the re-execution. *)
+          Atomic_util.decr t.num_active_tasks;
+          None)
+    else (
+      (* execution_idx <= txn_idx: the sweep will pick it up. *)
+      Atomic_util.decr t.num_active_tasks;
+      None))
+  else (
+    Atomic_util.decr t.num_active_tasks;
+    None)
+
+(* --- Introspection (tests, simulator, metrics) --------------------------- *)
+
+let execution_idx t = Atomic.get t.execution_idx
+let validation_idx t = Atomic.get t.validation_idx
+let num_active_tasks t = Atomic.get t.num_active_tasks
+let decrease_cnt t = Atomic.get t.decrease_cnt
+
+let dependents t idx =
+  let d = t.deps.(idx) in
+  Mutex.lock d.dep_mutex;
+  let l = d.dependents in
+  Mutex.unlock d.dep_mutex;
+  l

@@ -1,0 +1,95 @@
+(** The collaborative scheduler (paper Algorithms 5–9).
+
+    Tracks, for a block of [block_size] transactions, the ordered sets of
+    pending execution and validation tasks, each implemented as an atomic
+    counter plus the per-transaction status array. Thread-safe: any number
+    of domains may call any function concurrently.
+
+    Lifecycle of a transaction's status (paper Figure 2):
+    {v
+      READY_TO_EXECUTE(i) -> EXECUTING(i) -> EXECUTED(i) -> ABORTING(i)
+             ^                    |                              |
+             |                    v (dependency)                 |
+             +---- incarnation i+1 <-----------------------------+
+    v} *)
+
+open Blockstm_kernel
+
+type status_kind =
+  | Ready_to_execute
+  | Executing
+  | Executed
+  | Aborting
+
+val pp_status_kind : Format.formatter -> status_kind -> unit
+
+(** A schedulable unit of work for a specific transaction version. *)
+type task =
+  | Execution of Version.t
+  | Validation of Version.t
+
+val pp_task : Format.formatter -> task -> unit
+
+type t
+
+(** [create ~block_size] initializes the scheduler: every transaction is
+    [Ready_to_execute] at incarnation 0, both task counters at index 0. *)
+val create : block_size:int -> t
+
+val block_size : t -> int
+
+(** Claim the lowest-indexed available task, preferring validations when the
+    validation counter trails the execution counter (Algorithm 7). [None]
+    means nothing was ready — which does {e not} imply completion; poll
+    {!done_}. *)
+val next_task : t -> task option
+
+(** [add_dependency t ~txn_idx ~blocking_txn_idx] parks [txn_idx] (whose
+    execution read an ESTIMATE of [blocking_txn_idx]) until the blocking
+    transaction's next incarnation completes. Returns [false] if the
+    dependency resolved in the meantime — the caller must immediately
+    re-execute (paper Line 15). On [true], the caller's execution task is
+    finished (the active-task count is released). *)
+val add_dependency : t -> txn_idx:int -> blocking_txn_idx:int -> bool
+
+(** [try_validation_abort t version] attempts EXECUTED(i) -> ABORTING(i).
+    Only the first failing validation of a given version succeeds; all
+    others return [false] and must treat the abort as already handled. *)
+val try_validation_abort : t -> Version.t -> bool
+
+(** Publish the completion of an execution: resumes parked dependents and
+    schedules revalidation. When [wrote_new_location] is false and the
+    validation sweep is already past this transaction, the single required
+    validation task is handed back to the caller (who then owns its
+    active-task count). *)
+val finish_execution :
+  t -> txn_idx:int -> incarnation:int -> wrote_new_location:bool -> task option
+
+(** Publish the completion of a validation. If [aborted], bumps the
+    transaction to the next incarnation, pulls the validation counter back
+    to [txn_idx + 1], and — when possible — hands the re-execution task
+    straight back to the caller. *)
+val finish_validation : t -> txn_idx:int -> aborted:bool -> task option
+
+(** Whether the whole block is committed (Theorem 1): set by the
+    double-collect in the internal [check_done], which runs whenever a
+    counter sweeps past the block. Once [true], it never reverts. *)
+val done_ : t -> bool
+
+(** Claim a transaction for execution: READY_TO_EXECUTE -> EXECUTING.
+    Exposed for the engine's task handoff; most callers want
+    {!next_task}. No effect on the active-task count. *)
+val try_incarnate : t -> int -> Version.t option
+
+(** {2 Introspection} — used by tests, the simulator and metrics. *)
+
+val status : t -> int -> int * status_kind
+(** Current (incarnation, status) of a transaction. *)
+
+val execution_idx : t -> int
+val validation_idx : t -> int
+val num_active_tasks : t -> int
+val decrease_cnt : t -> int
+
+val dependents : t -> int -> int list
+(** Transactions currently parked on the given transaction. *)

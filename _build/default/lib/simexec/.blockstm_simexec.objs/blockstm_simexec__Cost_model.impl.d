@@ -1,0 +1,1 @@
+lib/simexec/cost_model.ml: Blockstm_kernel Fmt

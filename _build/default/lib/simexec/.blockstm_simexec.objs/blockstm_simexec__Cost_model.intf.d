@@ -1,0 +1,1 @@
+lib/simexec/cost_model.mli: Blockstm_kernel Format

@@ -1,0 +1,1 @@
+lib/simexec/dag_sim.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/simexec/virtual_exec.ml: Array Blockstm_kernel Cost_model Float Fmt Step_event

@@ -1,0 +1,1 @@
+lib/simexec/virtual_exec.mli: Blockstm_kernel Cost_model Format Step_event

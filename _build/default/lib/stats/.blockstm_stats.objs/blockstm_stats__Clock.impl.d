@@ -1,0 +1,1 @@
+lib/stats/clock.ml: Int64 Unix

@@ -1,0 +1,18 @@
+(** Wall-clock timing helpers for real-execution measurements. *)
+
+let now_ns () : int64 =
+  Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(** [time_ns f] runs [f ()] and returns [(result, elapsed nanoseconds)]. *)
+let time_ns (f : unit -> 'a) : 'a * int64 =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.sub t1 t0)
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(** Transactions per second given a count and elapsed nanoseconds. *)
+let tps ~txns ~elapsed_ns =
+  if Int64.compare elapsed_ns 0L <= 0 then infinity
+  else float_of_int txns /. ns_to_s elapsed_ns

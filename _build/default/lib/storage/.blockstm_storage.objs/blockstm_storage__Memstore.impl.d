@@ -1,0 +1,1 @@
+lib/storage/memstore.ml: Blockstm_kernel Fmt Hashtbl Intf List

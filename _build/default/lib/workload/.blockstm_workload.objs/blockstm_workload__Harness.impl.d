@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Array Blockstm_baselines Blockstm_core Blockstm_kernel Blockstm_simexec Fmt Int Ledger List Loc Store Value

@@ -1,0 +1,1 @@
+lib/workload/ledger.ml: Blockstm_kernel Blockstm_storage Bool Fmt Int Printf String Txn

@@ -1,0 +1,1 @@
+lib/workload/p2p.ml: Array Blockstm_kernel Ledger Loc Rng Store Sys Txn Value

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Blockstm_kernel Ledger Loc Rng Store Txn Value

@@ -1,0 +1,154 @@
+(** Instantiations of every executor over the benchmark {!Ledger} types,
+    plus convenience runners and equivalence checks. This is the module
+    tests, benches and examples use to run the same block through Block-STM,
+    Sequential, BOHM and LiTM and compare results. *)
+
+open Ledger
+
+module Bstm = Blockstm_core.Block_stm.Make (Loc) (Value)
+module Seq = Blockstm_baselines.Sequential.Make (Loc) (Value)
+module BohmX = Blockstm_baselines.Bohm.Make (Loc) (Value)
+module LitmX = Blockstm_baselines.Litm.Make (Loc) (Value)
+module Prof = Blockstm_baselines.Profile.Make (Loc) (Value)
+module Cost_model = Blockstm_simexec.Cost_model
+module Virtual_exec = Blockstm_simexec.Virtual_exec
+module Dag_sim = Blockstm_simexec.Dag_sim
+
+type snapshot = (Loc.t * Value.t) list
+
+let pp_snapshot : snapshot Fmt.t =
+  Fmt.brackets
+    (Fmt.list ~sep:Fmt.semi (Fmt.pair ~sep:(Fmt.any "=") Loc.pp Value.pp))
+
+let equal_snapshot (a : snapshot) (b : snapshot) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (la, va) (lb, vb) -> Loc.equal la lb && Value.equal va vb)
+       a b
+
+let equal_outputs (a : int Blockstm_kernel.Txn.output array)
+    (b : int Blockstm_kernel.Txn.output array) =
+  Array.length a = Array.length b
+  && Array.for_all2 (Blockstm_kernel.Txn.equal_output Int.equal) a b
+
+(** Run Block-STM on [num_domains] real domains. *)
+let run_blockstm ?(config = Bstm.default_config) ?declared_writes ~storage
+    txns =
+  Bstm.run ~config ?declared_writes ~storage:(Store.reader storage) txns
+
+let run_sequential ~storage txns =
+  Seq.run ~storage:(Store.reader storage) txns
+
+let run_bohm ?(num_domains = 1) ~storage ~declared_writes txns =
+  BohmX.run ~num_domains ~storage:(Store.reader storage) ~declared_writes txns
+
+let run_litm ?(num_domains = 1) ~storage txns =
+  LitmX.run ~num_domains ~storage:(Store.reader storage) txns
+
+(** Result of comparing a parallel executor against the sequential
+    reference. *)
+type check = {
+  snapshot_ok : bool;
+  outputs_ok : bool;
+}
+
+let check_ok c = c.snapshot_ok && c.outputs_ok
+
+(** Run Block-STM with [num_domains] domains and compare snapshot and
+    outputs against the sequential reference. *)
+let check_blockstm ?config ?declared_writes ~storage txns : check =
+  let seq = run_sequential ~storage txns in
+  let par = run_blockstm ?config ?declared_writes ~storage txns in
+  {
+    snapshot_ok = equal_snapshot seq.Seq.snapshot par.Bstm.snapshot;
+    outputs_ok = equal_outputs seq.Seq.outputs par.Bstm.outputs;
+  }
+
+let check_bohm ?num_domains ~storage ~declared_writes txns : check =
+  let seq = run_sequential ~storage txns in
+  let bohm = run_bohm ?num_domains ~storage ~declared_writes txns in
+  {
+    snapshot_ok = equal_snapshot seq.Seq.snapshot bohm.BohmX.snapshot;
+    outputs_ok = equal_outputs seq.Seq.outputs bohm.BohmX.outputs;
+  }
+
+(* --- Virtual-time (simulated parallelism) runners ------------------------ *)
+(* These reproduce the paper's thread-scaling measurements on a single-core
+   host: the real engine runs, but time is virtual (see DESIGN.md §3 and
+   lib/simexec). All makespans are in virtual microseconds. *)
+
+let tps_of_makespan ~txns makespan_us =
+  if makespan_us <= 0. then infinity
+  else float_of_int txns /. (makespan_us /. 1e6)
+
+(** Run Block-STM under virtual time with [num_threads] virtual threads.
+    Returns the block result (checked-able against sequential) and the
+    simulator stats. *)
+let sim_blockstm ?(config = Bstm.default_config) ?declared_writes
+    ?(cost = Cost_model.default) ~num_threads ~storage txns :
+    int Bstm.result * Virtual_exec.stats =
+  let config = { config with Bstm.num_domains = 1 } in
+  let inst =
+    Bstm.create_instance ~config ?declared_writes
+      ~storage:(Store.reader storage) txns
+  in
+  let engine =
+    {
+      Virtual_exec.start = Bstm.start_task inst;
+      finish = Bstm.finish_task inst;
+      profile = Bstm.pending_profile;
+      next_task =
+        (fun () -> Blockstm_core.Block_stm.Scheduler.next_task inst.Bstm.sched);
+      is_done =
+        (fun () -> Blockstm_core.Block_stm.Scheduler.done_ inst.Bstm.sched);
+    }
+  in
+  let stats = Virtual_exec.run ~num_threads ~cost engine in
+  (Bstm.finalize inst, stats)
+
+(** Virtual-time cost of sequential execution: the sum of per-transaction
+    VM costs derived from the profiling pass. *)
+let sim_sequential_makespan ?(cost = Cost_model.default) ~storage txns : float
+    =
+  let profiles = Prof.run ~storage:(Store.reader storage) txns in
+  Array.fold_left
+    (fun acc (p : Prof.txn_profile) ->
+      acc +. Cost_model.exec_cost cost ~reads:p.reads ~writes:p.writes)
+    0.0 profiles
+
+(** Virtual-time makespan of an ideal BOHM (perfect write-sets, each
+    transaction executed exactly once as soon as its read-dependencies
+    resolve): greedy list scheduling of the true dependency DAG. *)
+let sim_bohm_makespan ?(cost = Cost_model.default) ~num_threads ~storage txns
+    : float =
+  let profiles = Prof.run ~storage:(Store.reader storage) txns in
+  let costs =
+    Array.map
+      (fun (p : Prof.txn_profile) ->
+        Cost_model.exec_cost cost ~reads:p.reads ~writes:p.writes)
+      profiles
+  in
+  let deps = Array.map (fun (p : Prof.txn_profile) -> p.deps) profiles in
+  Dag_sim.makespan (Dag_sim.create ~costs ~deps) ~num_threads
+
+(** Virtual-time makespan of LiTM: runs the real round-based algorithm to
+    obtain the per-round batch sizes, then charges each round a parallel
+    execution phase plus a sequential commit scan. *)
+let sim_litm_makespan ?(cost = Cost_model.default) ~num_threads ~storage
+    ~reads_per_txn ~writes_per_txn txns : float * int LitmX.result =
+  let r = run_litm ~storage txns in
+  let per_exec =
+    Cost_model.exec_cost cost ~reads:reads_per_txn ~writes:writes_per_txn
+    *. cost.Cost_model.litm_exec_factor
+  in
+  let time =
+    List.fold_left
+      (fun acc nb ->
+        let exec_phase =
+          float_of_int nb *. per_exec /. float_of_int num_threads
+        in
+        let commit_phase = float_of_int nb *. cost.Cost_model.commit_unit in
+        acc +. exec_phase +. commit_phase +. cost.Cost_model.litm_round_barrier)
+      0.0 r.LitmX.round_sizes
+  in
+  (time, r)

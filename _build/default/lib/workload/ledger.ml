@@ -1,0 +1,146 @@
+(** The benchmark ledger: locations, values and the initial on-chain state
+    mirroring the Diem setup the paper benchmarks against.
+
+    Memory locations are either per-account resource fields (balance,
+    sequence number, frozen flag, ...) or global on-chain configuration
+    entries (block time, chain id, gas schedule, ...). The global entries are
+    written before the block and only read during it — exactly like Diem's
+    on-chain config — so conflicts arise purely from account accesses, and
+    the number of accounts controls contention (paper §4.1). *)
+
+open Blockstm_kernel
+
+(* --- Locations ----------------------------------------------------------- *)
+
+type field =
+  | Balance
+  | Seqno
+  | Frozen
+  | Auth_key
+  | Exists
+
+let field_index = function
+  | Balance -> 0
+  | Seqno -> 1
+  | Frozen -> 2
+  | Auth_key -> 3
+  | Exists -> 4
+
+let field_name = function
+  | Balance -> "balance"
+  | Seqno -> "seqno"
+  | Frozen -> "frozen"
+  | Auth_key -> "auth_key"
+  | Exists -> "exists"
+
+module Loc = struct
+  type t =
+    | Global of int  (** On-chain configuration entry [0..n_globals). *)
+    | Account of { acct : int; field : field }
+
+  let equal a b =
+    match (a, b) with
+    | Global x, Global y -> Int.equal x y
+    | Account a, Account b -> a.acct = b.acct && a.field = b.field
+    | _ -> false
+
+  let hash = function
+    | Global g -> (g * 0x9E3779B1) lxor 0x55
+    | Account { acct; field } ->
+        ((acct * 8) + field_index field) * 0x9E3779B1
+
+  let compare a b =
+    match (a, b) with
+    | Global x, Global y -> Int.compare x y
+    | Global _, Account _ -> -1
+    | Account _, Global _ -> 1
+    | Account a, Account b -> (
+        match Int.compare a.acct b.acct with
+        | 0 -> Int.compare (field_index a.field) (field_index b.field)
+        | c -> c)
+
+  let pp ppf = function
+    | Global g -> Fmt.pf ppf "global/%d" g
+    | Account { acct; field } ->
+        Fmt.pf ppf "acct/%d/%s" acct (field_name field)
+end
+
+(* --- Values -------------------------------------------------------------- *)
+
+module Value = struct
+  type t =
+    | Int of int
+    | Bool of bool
+    | Bytes of string
+
+  let equal a b =
+    match (a, b) with
+    | Int x, Int y -> Int.equal x y
+    | Bool x, Bool y -> Bool.equal x y
+    | Bytes x, Bytes y -> String.equal x y
+    | _ -> false
+
+  let pp ppf = function
+    | Int i -> Fmt.int ppf i
+    | Bool b -> Fmt.bool ppf b
+    | Bytes s -> Fmt.pf ppf "%S" s
+
+  let as_int = function
+    | Int i -> i
+    | v -> Fmt.failwith "Ledger.Value.as_int: %a" pp v
+
+  let as_bool = function
+    | Bool b -> b
+    | v -> Fmt.failwith "Ledger.Value.as_bool: %a" pp v
+end
+
+module Store = Blockstm_storage.Memstore.Make (Loc) (Value)
+
+(* --- Convenience constructors ------------------------------------------- *)
+
+let balance acct = Loc.Account { acct; field = Balance }
+let seqno acct = Loc.Account { acct; field = Seqno }
+let frozen acct = Loc.Account { acct; field = Frozen }
+let auth_key acct = Loc.Account { acct; field = Auth_key }
+let exists acct = Loc.Account { acct; field = Exists }
+let global g = Loc.Global g
+
+(** Number of distinct global configuration entries installed in genesis. *)
+let n_globals = 16
+
+let default_initial_balance = 1_000_000_000
+
+(** Genesis state: [num_accounts] funded accounts plus the global
+    configuration entries. *)
+let genesis ?(initial_balance = default_initial_balance) ~num_accounts () :
+    Store.t =
+  let store = Store.create ~initial_size:((num_accounts * 5) + 64) () in
+  for g = 0 to n_globals - 1 do
+    Store.set store (global g) (Value.Int (1000 + g))
+  done;
+  for a = 0 to num_accounts - 1 do
+    Store.set store (balance a) (Value.Int initial_balance);
+    Store.set store (seqno a) (Value.Int 0);
+    Store.set store (frozen a) (Value.Bool false);
+    Store.set store (auth_key a) (Value.Bytes (Printf.sprintf "key-%08x" a));
+    Store.set store (exists a) (Value.Bool true)
+  done;
+  store
+
+(* --- Typed read helpers used by transaction code ------------------------- *)
+
+exception Invariant_violation of string
+
+let read_int (e : (Loc.t, Value.t) Txn.effects) loc =
+  match e.read loc with
+  | Some v -> Value.as_int v
+  | None ->
+      raise (Invariant_violation (Fmt.str "missing int at %a" Loc.pp loc))
+
+let read_bool (e : (Loc.t, Value.t) Txn.effects) loc =
+  match e.read loc with
+  | Some v -> Value.as_bool v
+  | None ->
+      raise (Invariant_violation (Fmt.str "missing bool at %a" Loc.pp loc))
+
+let check cond msg = if not cond then raise (Invariant_violation msg)

@@ -1,0 +1,173 @@
+(** Peer-to-peer payment workloads: the paper's benchmark transactions
+    (Section 4.1).
+
+    Each transaction picks two distinct accounts and transfers a small
+    amount. The {e standard} flavor performs exactly 21 reads and 4 writes
+    per transaction; the {e simplified} flavor 12 reads and 4 writes —
+    matching the Diem standard-library peer-to-peer scripts the paper
+    measures. Reads beyond the account fields hit read-only global
+    configuration entries (block time, chain id, gas schedule, ...), so the
+    number of accounts alone controls the conflict rate: 2 accounts make the
+    block inherently sequential, 10^4 accounts make it almost conflict-free.
+
+    Transactions carry real assertions (sequence-number check, sufficient
+    balance, frozen flags): any executor that violates sequential semantics
+    produces [Failed] outputs or wrong balances, which the test suite
+    detects. *)
+
+open Blockstm_kernel
+open Ledger
+
+type flavor = Standard | Simplified
+
+let flavor_name = function
+  | Standard -> "standard"
+  | Simplified -> "simplified"
+
+(** Dynamic reads / writes per transaction, as in the paper. *)
+let reads_per_txn = function Standard -> 21 | Simplified -> 12
+let writes_per_txn (_ : flavor) = 4
+
+type spec = {
+  num_accounts : int;
+  block_size : int;
+  flavor : flavor;
+  seed : int;
+  amount_max : int;  (** Transfer amounts drawn uniformly from [1..max]. *)
+  work : int;
+      (** Artificial per-transaction compute (spin iterations), to emulate
+          VM interpretation cost in real-execution mode. 0 = none. *)
+}
+
+let default_spec =
+  {
+    num_accounts = 1000;
+    block_size = 1000;
+    flavor = Standard;
+    seed = 42;
+    amount_max = 100;
+    work = 0;
+  }
+
+type transfer = { sender : int; recipient : int; amount : int; exp_seqno : int }
+
+type t = {
+  spec : spec;
+  storage : Store.t;
+  txns : (Loc.t, Value.t, int) Txn.t array;
+  declared_writes : Loc.t array array;  (** Perfect write-sets (for BOHM). *)
+  transfers : transfer array;
+}
+
+(* Deterministic artificial compute; survives the optimizer via
+   [Sys.opaque_identity]. *)
+let spin n =
+  if n > 0 then begin
+    let x = ref n in
+    for i = 1 to n do
+      x := !x lxor (i * 0x9E3779B1)
+    done;
+    ignore (Sys.opaque_identity !x)
+  end
+
+(* The standard p2p script: 21 reads, 4 writes. Read breakdown:
+   13 global-config reads (prologue verification: block time, chain id, gas
+   schedule, ...), then sender balance/seqno/frozen/auth_key and recipient
+   balance/seqno/frozen/exists. *)
+let standard_txn ~work { sender; recipient; amount; exp_seqno } :
+    (Loc.t, Value.t, int) Txn.t =
+ fun e ->
+  let cfg = ref 0 in
+  for g = 0 to 12 do
+    cfg := !cfg + read_int e (global g)
+  done;
+  check (!cfg > 0) "bad on-chain config";
+  let s_frozen = read_bool e (frozen sender) in
+  check (not s_frozen) "sender frozen";
+  (match e.read (auth_key sender) with
+  | Some (Value.Bytes _) -> ()
+  | _ -> raise (Invariant_violation "sender auth key missing"));
+  let s_seq = read_int e (seqno sender) in
+  check (s_seq = exp_seqno) "sequence number mismatch";
+  let s_bal = read_int e (balance sender) in
+  check (s_bal >= amount) "insufficient balance";
+  let r_exists = read_bool e (exists recipient) in
+  check r_exists "recipient does not exist";
+  let r_frozen = read_bool e (frozen recipient) in
+  check (not r_frozen) "recipient frozen";
+  let r_bal = read_int e (balance recipient) in
+  let r_seq = read_int e (seqno recipient) in
+  spin work;
+  e.write (balance sender) (Value.Int (s_bal - amount));
+  e.write (seqno sender) (Value.Int (s_seq + 1));
+  e.write (balance recipient) (Value.Int (r_bal + amount));
+  e.write (seqno recipient) (Value.Int r_seq);
+  s_bal - amount
+
+(* The simplified p2p script: 12 reads, 4 writes (6 global-config reads, no
+   auth-key / existence verification). *)
+let simplified_txn ~work { sender; recipient; amount; exp_seqno } :
+    (Loc.t, Value.t, int) Txn.t =
+ fun e ->
+  let cfg = ref 0 in
+  for g = 0 to 5 do
+    cfg := !cfg + read_int e (global g)
+  done;
+  check (!cfg > 0) "bad on-chain config";
+  let s_frozen = read_bool e (frozen sender) in
+  check (not s_frozen) "sender frozen";
+  let s_seq = read_int e (seqno sender) in
+  check (s_seq = exp_seqno) "sequence number mismatch";
+  let s_bal = read_int e (balance sender) in
+  check (s_bal >= amount) "insufficient balance";
+  let r_frozen = read_bool e (frozen recipient) in
+  check (not r_frozen) "recipient frozen";
+  let r_bal = read_int e (balance recipient) in
+  let r_seq = read_int e (seqno recipient) in
+  spin work;
+  e.write (balance sender) (Value.Int (s_bal - amount));
+  e.write (seqno sender) (Value.Int (s_seq + 1));
+  e.write (balance recipient) (Value.Int (r_bal + amount));
+  e.write (seqno recipient) (Value.Int r_seq);
+  s_bal - amount
+
+let txn_writes { sender; recipient; _ } =
+  [| balance sender; seqno sender; balance recipient; seqno recipient |]
+
+let generate (spec : spec) : t =
+  if spec.num_accounts < 2 then
+    invalid_arg "P2p.generate: need at least 2 accounts";
+  if spec.amount_max < 1 then invalid_arg "P2p.generate: amount_max >= 1";
+  let rng = Rng.create spec.seed in
+  let next_seqno = Array.make spec.num_accounts 0 in
+  let transfers =
+    Array.init spec.block_size (fun _ ->
+        let sender, recipient = Rng.distinct_pair rng spec.num_accounts in
+        let amount = 1 + Rng.int rng spec.amount_max in
+        let exp_seqno = next_seqno.(sender) in
+        next_seqno.(sender) <- exp_seqno + 1;
+        { sender; recipient; amount; exp_seqno })
+  in
+  let mk =
+    match spec.flavor with
+    | Standard -> standard_txn ~work:spec.work
+    | Simplified -> simplified_txn ~work:spec.work
+  in
+  {
+    spec;
+    storage = genesis ~num_accounts:spec.num_accounts ();
+    txns = Array.map mk transfers;
+    declared_writes = Array.map txn_writes transfers;
+    transfers;
+  }
+
+(** Total amount each account should gain/lose — used by conservation
+    tests. *)
+let expected_balance_delta (t : t) : int array =
+  let delta = Array.make t.spec.num_accounts 0 in
+  Array.iter
+    (fun tr ->
+      delta.(tr.sender) <- delta.(tr.sender) - tr.amount;
+      delta.(tr.recipient) <- delta.(tr.recipient) + tr.amount)
+    t.transfers;
+  delta

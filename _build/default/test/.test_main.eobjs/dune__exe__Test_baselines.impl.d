@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Blockstm_kernel Blockstm_workload BohmI Fun Int List LitmI Printf ProfI Seq Tutil Txn

@@ -1,0 +1,1 @@
+test/test_block_stm.ml: Alcotest Array Blockstm_kernel Blockstm_workload Bstm Domain Int List Printf ProfI Scheduler String Tutil Txn

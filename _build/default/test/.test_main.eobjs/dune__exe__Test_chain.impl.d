@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Blockstm_chain Blockstm_workload Int64 IntLoc IntVal List Option Tutil

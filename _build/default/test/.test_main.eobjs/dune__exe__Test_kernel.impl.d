@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Atomic Atomic_util Blockstm_kernel Domain Int Read_origin Txn Version

@@ -1,0 +1,1 @@
+test/test_minimove.ml: Alcotest Array Blockstm_kernel Blockstm_minimove Blockstm_workload Check Fmt Interp Lexer List Loc Mv_value Parser Runtime Stdlib_contracts String Value

@@ -1,0 +1,1 @@
+test/test_mvmemory.ml: Alcotest Array Blockstm_kernel Domain Fmt List Mv Printf Read_origin Tutil Version

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Blockstm_kernel Blockstm_minimove Blockstm_simexec Blockstm_workload BohmI Bstm Char Fmt Fun Int List LitmI Mv QCheck2 Scheduler Seq String Tutil Txn Version

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Blockstm_kernel Fmt List Scheduler Tutil

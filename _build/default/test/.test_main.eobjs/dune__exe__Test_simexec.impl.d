@@ -1,0 +1,1 @@
+test/test_simexec.ml: Alcotest Array Blockstm_simexec Blockstm_workload Float Fmt Harness List P2p Rng

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Blockstm_stats Float Fmt Int64 String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Blockstm_workload Bstm Domain List Printf Scheduler Seq Tutil

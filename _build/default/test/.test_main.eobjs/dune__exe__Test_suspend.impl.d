@@ -1,0 +1,1 @@
+test/test_suspend.ml: Alcotest Array Blockstm_kernel Blockstm_workload Bstm Fmt Int List Scheduler Tutil Txn Version

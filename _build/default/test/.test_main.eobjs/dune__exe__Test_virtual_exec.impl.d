@@ -1,0 +1,1 @@
+test/test_virtual_exec.ml: Alcotest Blockstm_kernel Blockstm_simexec List Printf Step_event Version

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Blockstm_kernel Blockstm_workload Harness Ledger List P2p Printf Rng Synthetic

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Blockstm_baselines Blockstm_core Blockstm_kernel Blockstm_mvmemory Blockstm_scheduler Blockstm_storage Fmt Int Intf List QCheck_alcotest Txn Version

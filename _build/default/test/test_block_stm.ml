@@ -1,0 +1,343 @@
+(** Tests for the Block-STM engine: VM wrapper semantics (Algorithm 4),
+    end-to-end equivalence with sequential execution, ablation configs,
+    metrics, and engine invariants. Uses the compact int domain from
+    {!Tutil}. *)
+
+open Blockstm_kernel
+open Tutil
+
+let run ?config ?declared_writes ~storage txns =
+  Bstm.run ?config ?declared_writes ~storage txns
+
+let config ?(num_domains = 1) ?(use_estimates = true)
+    ?(prevalidate_reads = true) ?(prefill_estimates = false)
+    ?(suspend_resume = false) () =
+  {
+    Bstm.num_domains;
+    use_estimates;
+    prevalidate_reads;
+    prefill_estimates;
+    suspend_resume;
+  }
+
+(* --- Basics -------------------------------------------------------------- *)
+
+let test_empty_block () =
+  let r = run ~storage:zero_storage [||] in
+  Alcotest.(check int) "no outputs" 0 (Array.length r.outputs);
+  Alcotest.(check int) "empty snapshot" 0 (List.length r.snapshot)
+
+let test_single_txn () =
+  let r = run ~storage:(range_storage 4) [| incr_txn 2 |] in
+  Alcotest.(check (list (pair int int))) "snapshot" [ (2, 103) ] r.snapshot;
+  (match r.outputs.(0) with
+  | Txn.Success v -> Alcotest.(check int) "output" 103 v
+  | Txn.Failed m -> Alcotest.failf "unexpected failure: %s" m);
+  Alcotest.(check int) "one incarnation" 1 r.metrics.incarnations;
+  Alcotest.(check int) "one validation" 1 r.metrics.validations;
+  Alcotest.(check int) "no aborts" 0 r.metrics.validation_aborts
+
+let test_read_from_storage_only () =
+  let txn : itxn =
+   fun e ->
+    match e.read 42 with
+    | Some v -> v
+    | None -> -1
+  in
+  let r = run ~storage:(fun l -> if l = 42 then Some 7 else None) [| txn |] in
+  (match r.outputs.(0) with
+  | Txn.Success v -> Alcotest.(check int) "reads storage" 7 v
+  | Txn.Failed m -> Alcotest.failf "unexpected failure: %s" m);
+  Alcotest.(check int) "nothing written" 0 (List.length r.snapshot)
+
+let test_read_missing_location () =
+  let txn : itxn =
+   fun e -> (match e.read 999 with Some _ -> 1 | None -> 0)
+  in
+  let r = run ~storage:(range_storage 4) [| txn |] in
+  match r.outputs.(0) with
+  | Txn.Success v -> Alcotest.(check int) "missing reads None" 0 v
+  | Txn.Failed m -> Alcotest.failf "unexpected failure: %s" m
+
+(* --- VM wrapper semantics ------------------------------------------------- *)
+
+let test_read_your_own_writes () =
+  let txn : itxn =
+   fun e ->
+    e.write 5 77;
+    match e.read 5 with Some v -> v | None -> -1
+  in
+  let r = run ~storage:zero_storage [| txn |] in
+  match r.outputs.(0) with
+  | Txn.Success v -> Alcotest.(check int) "own write visible" 77 v
+  | Txn.Failed m -> Alcotest.failf "unexpected failure: %s" m
+
+let test_last_write_wins_per_location () =
+  let txn : itxn =
+   fun e ->
+    e.write 5 1;
+    e.write 5 2;
+    e.write 5 3;
+    0
+  in
+  let r = run ~storage:zero_storage [| txn |] in
+  Alcotest.(check (list (pair int int))) "latest value" [ (5, 3) ] r.snapshot
+
+let test_failed_txn_commits_no_writes () =
+  let bad : itxn =
+   fun e ->
+    e.write 1 111;
+    failwith "boom"
+  in
+  let good : itxn = incr_txn 2 in
+  let r = run ~storage:zero_storage [| bad; good |] in
+  (match r.outputs.(0) with
+  | Txn.Failed m ->
+      Alcotest.(check bool) "message mentions boom" true
+        (String.length m > 0)
+  | Txn.Success _ -> Alcotest.fail "expected failure");
+  (match r.outputs.(1) with
+  | Txn.Success v -> Alcotest.(check int) "good txn ran" 1 v
+  | Txn.Failed m -> Alcotest.failf "unexpected failure: %s" m);
+  Alcotest.(check (list (pair int int)))
+    "failed writes discarded" [ (2, 1) ] r.snapshot
+
+let test_failed_txn_sees_prior_writes () =
+  (* A transaction that fails iff it reads the value the previous
+     transaction wrote: its failure must be based on committed state. *)
+  let writer : itxn = fun e -> e.write 0 5; 0 in
+  let conditional : itxn =
+   fun e ->
+    match e.read 0 with
+    | Some 5 -> failwith "saw five"
+    | Some v -> v
+    | None -> -1
+  in
+  let r = run ~storage:zero_storage [| writer; conditional |] in
+  match r.outputs.(1) with
+  | Txn.Failed _ -> ()
+  | Txn.Success v -> Alcotest.failf "expected failure, got %d" v
+
+(* --- Equivalence with sequential execution -------------------------------- *)
+
+let test_chain_of_dependencies () =
+  (* tx_i reads loc i, writes loc i+1: strictly sequential data flow. *)
+  let n = 50 in
+  let txns =
+    Array.init n (fun i -> rmw ~src:i ~dst:(i + 1) (fun v -> v + 1))
+  in
+  List.iter
+    (fun d ->
+      ignore
+        (assert_equiv
+           ~msg:(Printf.sprintf "chain with %d domains" d)
+           ~config:(config ~num_domains:d ())
+           ~storage:zero_storage txns))
+    [ 1; 2; 4 ]
+
+let test_hotspot_counter () =
+  let n = 60 in
+  let txns = Array.init n (fun _ -> incr_txn 0) in
+  let r =
+    assert_equiv ~msg:"hotspot" ~config:(config ~num_domains:4 ())
+      ~storage:zero_storage txns
+  in
+  (* Final value must be exactly n. *)
+  Alcotest.(check (list (pair int int))) "counter" [ (0, n) ] r.snapshot
+
+let test_transfers_many_domains () =
+  let rng = Blockstm_workload.Rng.create 99 in
+  let txns =
+    Array.init 200 (fun _ ->
+        let a, b = Blockstm_workload.Rng.distinct_pair rng 10 in
+        transfer ~from_:a ~to_:b ~amount:(1 + Blockstm_workload.Rng.int rng 9))
+  in
+  List.iter
+    (fun d ->
+      ignore
+        (assert_equiv
+           ~msg:(Printf.sprintf "transfers %d domains" d)
+           ~config:(config ~num_domains:d ())
+           ~storage:(range_storage ~base:1000 10) txns))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_write_set_churn () =
+  (* Incarnations write different locations depending on what they read:
+     exercises wrote_new_location and estimate cleanup under real domains. *)
+  let txns =
+    Array.init 100 (fun i : itxn ->
+        fun e ->
+          let v = match e.read 0 with Some v -> v | None -> 0 in
+          e.write ((v mod 7) + 1) i;
+          e.write 0 (v + 1);
+          v)
+  in
+  ignore
+    (assert_equiv ~msg:"churn" ~config:(config ~num_domains:4 ())
+       ~storage:zero_storage txns)
+
+(* --- Determinism --------------------------------------------------------- *)
+
+let test_deterministic_across_domain_counts () =
+  let rng = Blockstm_workload.Rng.create 5 in
+  let txns =
+    Array.init 150 (fun _ ->
+        let a = Blockstm_workload.Rng.int rng 5 in
+        let b = Blockstm_workload.Rng.int rng 5 in
+        rmw ~src:a ~dst:b (fun v -> (v * 31) + 7))
+  in
+  let reference = run ~config:(config ()) ~storage:zero_storage txns in
+  List.iter
+    (fun d ->
+      let r = run ~config:(config ~num_domains:d ()) ~storage:zero_storage
+          txns in
+      Alcotest.(check bool)
+        (Printf.sprintf "snapshot equal at %d domains" d)
+        true
+        (r.snapshot = reference.snapshot);
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check bool) "output equal" true
+            (Txn.equal_output Int.equal o reference.outputs.(i)))
+        r.outputs)
+    [ 2; 3; 4 ]
+
+(* --- Ablation configs ----------------------------------------------------- *)
+
+let contended_txns n =
+  let rng = Blockstm_workload.Rng.create 17 in
+  Array.init n (fun _ ->
+      let a = Blockstm_workload.Rng.int rng 3 in
+      incr_txn a)
+
+let test_no_estimates_still_correct () =
+  ignore
+    (assert_equiv ~msg:"use_estimates=false"
+       ~config:(config ~num_domains:4 ~use_estimates:false ())
+       ~storage:zero_storage (contended_txns 120))
+
+let test_no_prevalidation_still_correct () =
+  ignore
+    (assert_equiv ~msg:"prevalidate_reads=false"
+       ~config:(config ~num_domains:4 ~prevalidate_reads:false ())
+       ~storage:zero_storage (contended_txns 120))
+
+let test_prefill_estimates_correct () =
+  let n = 80 in
+  let rng = Blockstm_workload.Rng.create 23 in
+  let targets = Array.init n (fun _ -> Blockstm_workload.Rng.int rng 4) in
+  let txns = Array.map (fun t -> incr_txn t) targets in
+  let declared_writes = Array.map (fun t -> [| t |]) targets in
+  ignore
+    (assert_equiv ~msg:"prefill_estimates"
+       ~config:(config ~num_domains:4 ~prefill_estimates:true ())
+       ~declared_writes ~storage:zero_storage txns)
+
+let test_prefill_requires_declared_writes () =
+  Alcotest.check_raises "missing declared_writes"
+    (Invalid_argument "Block_stm: prefill_estimates needs declared_writes")
+    (fun () ->
+      ignore
+        (run
+           ~config:(config ~prefill_estimates:true ())
+           ~storage:zero_storage
+           [| incr_txn 0 |]))
+
+let test_invalid_num_domains () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Block_stm: num_domains must be >= 1") (fun () ->
+      ignore
+        (run ~config:(config ~num_domains:0 ()) ~storage:zero_storage [||]))
+
+(* --- Metrics and invariants ----------------------------------------------- *)
+
+let test_metrics_lower_bounds () =
+  let n = 50 in
+  let txns = Array.init n (fun i -> incr_txn (i mod 5)) in
+  let r = run ~config:(config ~num_domains:4 ()) ~storage:zero_storage txns in
+  Alcotest.(check bool) "incarnations >= n" true (r.metrics.incarnations >= n);
+  Alcotest.(check bool) "validations >= n" true (r.metrics.validations >= n);
+  Alcotest.(check bool) "aborts < incarnations" true
+    (r.metrics.validation_aborts < r.metrics.incarnations)
+
+let test_engine_quiescent_after_run () =
+  let txns = contended_txns 100 in
+  let inst =
+    Bstm.create_instance
+      ~config:(config ~num_domains:3 ())
+      ~storage:zero_storage txns
+  in
+  let workers =
+    Array.init 2 (fun _ -> Domain.spawn (fun () -> Bstm.worker_loop inst))
+  in
+  Bstm.worker_loop inst;
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "no active tasks" 0
+    (Scheduler.num_active_tasks inst.sched);
+  Alcotest.(check bool) "done" true (Scheduler.done_ inst.sched);
+  (* Every transaction must be EXECUTED at completion (Lemma 2). *)
+  Array.iteri
+    (fun i _ ->
+      let _, kind = Scheduler.status inst.sched i in
+      Alcotest.(check bool)
+        (Printf.sprintf "tx%d executed" i)
+        true
+        (kind = Scheduler.Executed))
+    txns;
+  (* And MVMemory contains no estimates: snapshot must not raise. *)
+  ignore (Bstm.finalize inst)
+
+let test_snapshot_matches_profile_writes () =
+  (* The snapshot's location set equals the union of committed write-sets
+     observed by a sequential profiling pass. *)
+  let txns = contended_txns 60 in
+  let profiles = ProfI.run ~storage:zero_storage txns in
+  let r = run ~config:(config ~num_domains:2 ()) ~storage:zero_storage txns in
+  let total_writes =
+    Array.fold_left (fun acc (p : ProfI.txn_profile) -> acc + p.writes) 0
+      profiles
+  in
+  Alcotest.(check bool) "snapshot smaller than total writes" true
+    (List.length r.snapshot <= total_writes);
+  Alcotest.(check bool) "snapshot non-empty" true (r.snapshot <> [])
+
+let suite =
+  [
+    Alcotest.test_case "empty block" `Quick test_empty_block;
+    Alcotest.test_case "single transaction" `Quick test_single_txn;
+    Alcotest.test_case "reads fall through to storage" `Quick
+      test_read_from_storage_only;
+    Alcotest.test_case "missing location reads None" `Quick
+      test_read_missing_location;
+    Alcotest.test_case "read-your-own-writes" `Quick test_read_your_own_writes;
+    Alcotest.test_case "last write per location wins" `Quick
+      test_last_write_wins_per_location;
+    Alcotest.test_case "failed txn commits no writes" `Quick
+      test_failed_txn_commits_no_writes;
+    Alcotest.test_case "failure decided on committed state" `Quick
+      test_failed_txn_sees_prior_writes;
+    Alcotest.test_case "dependency chain = sequential" `Quick
+      test_chain_of_dependencies;
+    Alcotest.test_case "hotspot counter = sequential" `Quick
+      test_hotspot_counter;
+    Alcotest.test_case "random transfers, 1-8 domains" `Quick
+      test_transfers_many_domains;
+    Alcotest.test_case "write-set churn" `Quick test_write_set_churn;
+    Alcotest.test_case "deterministic across domain counts" `Quick
+      test_deterministic_across_domain_counts;
+    Alcotest.test_case "ablation: no estimates" `Quick
+      test_no_estimates_still_correct;
+    Alcotest.test_case "ablation: no prevalidation" `Quick
+      test_no_prevalidation_still_correct;
+    Alcotest.test_case "ablation: prefilled estimates" `Quick
+      test_prefill_estimates_correct;
+    Alcotest.test_case "prefill requires declared writes" `Quick
+      test_prefill_requires_declared_writes;
+    Alcotest.test_case "invalid num_domains rejected" `Quick
+      test_invalid_num_domains;
+    Alcotest.test_case "metrics lower bounds" `Quick test_metrics_lower_bounds;
+    Alcotest.test_case "engine quiescent after run" `Quick
+      test_engine_quiescent_after_run;
+    Alcotest.test_case "snapshot bounded by committed writes" `Quick
+      test_snapshot_matches_profile_writes;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "blockstm"
+    [
+      ("kernel", Test_kernel.suite);
+      ("mvmemory", Test_mvmemory.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("block_stm", Test_block_stm.suite);
+      ("baselines", Test_baselines.suite);
+      ("storage", Test_storage.suite);
+      ("workload", Test_workload.suite);
+      ("minimove", Test_minimove.suite);
+      ("simexec", Test_simexec.suite);
+      ("virtual_exec", Test_virtual_exec.suite);
+      ("stats", Test_stats.suite);
+      ("suspend_resume", Test_suspend.suite);
+      ("stress", Test_stress.suite);
+      ("chain", Test_chain.suite);
+      ("properties", Test_props.suite);
+    ]

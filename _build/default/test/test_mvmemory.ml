@@ -1,0 +1,292 @@
+(** Unit tests for the multi-version memory (Algorithms 2–3). *)
+
+open Blockstm_kernel
+open Tutil
+
+let ver t i = Version.make ~txn_idx:t ~incarnation:i
+
+let record mv ~txn ~inc ?(reads = [||]) writes =
+  Mv.record mv (ver txn inc) reads (Array.of_list writes)
+
+let check_read msg mv loc ~txn expected =
+  let actual = Mv.read mv loc ~txn_idx:txn in
+  let pp ppf = function
+    | Mv.Ok (v, value) -> Fmt.pf ppf "Ok(%a,%d)" Version.pp v value
+    | Mv.Not_found -> Fmt.string ppf "Not_found"
+    | Mv.Read_error { blocking_txn_idx } ->
+        Fmt.pf ppf "Read_error(%d)" blocking_txn_idx
+  in
+  let eq a b =
+    match (a, b) with
+    | Mv.Ok (v1, x1), Mv.Ok (v2, x2) -> Version.equal v1 v2 && x1 = x2
+    | Mv.Not_found, Mv.Not_found -> true
+    | Mv.Read_error a, Mv.Read_error b ->
+        a.blocking_txn_idx = b.blocking_txn_idx
+    | _ -> false
+  in
+  Alcotest.check (Alcotest.testable pp eq) msg expected actual
+
+(* --- Reads --------------------------------------------------------------- *)
+
+let test_read_empty () =
+  let mv = Mv.create ~block_size:4 () in
+  check_read "empty" mv 0 ~txn:3 Mv.Not_found
+
+let test_read_highest_lower () =
+  let mv = Mv.create ~block_size:10 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 100) ]);
+  ignore (record mv ~txn:4 ~inc:0 [ (7, 400) ]);
+  ignore (record mv ~txn:6 ~inc:0 [ (7, 600) ]);
+  (* tx5 must see tx4's write even though tx6 also wrote. *)
+  check_read "tx5 sees tx4" mv 7 ~txn:5 (Mv.Ok (ver 4 0, 400));
+  check_read "tx2 sees tx1" mv 7 ~txn:2 (Mv.Ok (ver 1 0, 100));
+  check_read "tx1 sees nothing" mv 7 ~txn:1 Mv.Not_found;
+  check_read "tx9 sees tx6" mv 7 ~txn:9 (Mv.Ok (ver 6 0, 600));
+  (* A transaction never reads its own MVMemory entry. *)
+  check_read "tx4 skips itself" mv 7 ~txn:4 (Mv.Ok (ver 1 0, 100))
+
+let test_read_estimate () =
+  let mv = Mv.create ~block_size:10 () in
+  ignore (record mv ~txn:2 ~inc:0 [ (5, 20) ]);
+  Mv.convert_writes_to_estimates mv 2;
+  check_read "estimate blocks" mv 5 ~txn:7
+    (Mv.Read_error { blocking_txn_idx = 2 });
+  (* Lower transactions are unaffected. *)
+  check_read "below estimate" mv 5 ~txn:2 Mv.Not_found
+
+let test_read_incarnation_in_version () =
+  let mv = Mv.create ~block_size:4 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (3, 10) ]);
+  ignore (record mv ~txn:1 ~inc:1 [ (3, 11) ]);
+  check_read "latest incarnation" mv 3 ~txn:2 (Mv.Ok (ver 1 1, 11))
+
+(* --- Record / rcu_update_written_locations ------------------------------- *)
+
+let test_record_wrote_new_location () =
+  let mv = Mv.create ~block_size:4 () in
+  Alcotest.(check bool) "first write is new" true
+    (record mv ~txn:1 ~inc:0 [ (1, 1); (2, 2) ]);
+  Alcotest.(check bool) "same locations: not new" false
+    (record mv ~txn:1 ~inc:1 [ (1, 5); (2, 6) ]);
+  Alcotest.(check bool) "subset: not new" false
+    (record mv ~txn:1 ~inc:2 [ (2, 7) ]);
+  Alcotest.(check bool) "fresh location: new" true
+    (record mv ~txn:1 ~inc:3 [ (2, 8); (9, 9) ]);
+  Alcotest.(check bool) "empty write-set: not new" false
+    (record mv ~txn:1 ~inc:4 [])
+
+let test_record_removes_stale_entries () =
+  let mv = Mv.create ~block_size:4 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (1, 1); (2, 2) ]);
+  (* Next incarnation no longer writes location 1: entry must vanish. *)
+  ignore (record mv ~txn:1 ~inc:1 [ (2, 20) ]);
+  check_read "stale removed" mv 1 ~txn:3 Mv.Not_found;
+  check_read "kept" mv 2 ~txn:3 (Mv.Ok (ver 1 1, 20))
+
+let test_entry_count () =
+  let mv = Mv.create ~block_size:4 () in
+  Alcotest.(check int) "empty" 0 (Mv.entry_count mv);
+  ignore (record mv ~txn:0 ~inc:0 [ (1, 1); (2, 2) ]);
+  ignore (record mv ~txn:1 ~inc:0 [ (1, 3) ]);
+  Alcotest.(check int) "three entries" 3 (Mv.entry_count mv);
+  ignore (record mv ~txn:1 ~inc:1 []);
+  Alcotest.(check int) "txn1 entry removed" 2 (Mv.entry_count mv)
+
+(* --- Estimates ----------------------------------------------------------- *)
+
+let test_estimates_cover_whole_write_set () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:3 ~inc:0 [ (1, 1); (2, 2); (3, 3) ]);
+  Mv.convert_writes_to_estimates mv 3;
+  List.iter
+    (fun loc ->
+      check_read
+        (Printf.sprintf "loc %d estimated" loc)
+        mv loc ~txn:5
+        (Mv.Read_error { blocking_txn_idx = 3 }))
+    [ 1; 2; 3 ]
+
+let test_estimate_overwritten_by_next_incarnation () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:3 ~inc:0 [ (1, 1); (2, 2) ]);
+  Mv.convert_writes_to_estimates mv 3;
+  (* Next incarnation only writes 1: the estimate at 2 must be removed. *)
+  ignore (record mv ~txn:3 ~inc:1 [ (1, 10) ]);
+  check_read "overwritten" mv 1 ~txn:5 (Mv.Ok (ver 3 1, 10));
+  check_read "estimate cleaned" mv 2 ~txn:5 Mv.Not_found
+
+let test_remove_written_entries () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:3 ~inc:0 [ (1, 1); (2, 2) ]);
+  Mv.remove_written_entries mv 3;
+  check_read "removed 1" mv 1 ~txn:5 Mv.Not_found;
+  check_read "removed 2" mv 2 ~txn:5 Mv.Not_found;
+  Alcotest.(check int) "no written locations" 0
+    (Array.length (Mv.written_locations mv 3))
+
+let test_prefill_estimates () =
+  let mv = Mv.create ~block_size:8 () in
+  Mv.prefill_estimates mv 2 [| 4; 5 |];
+  check_read "prefilled" mv 4 ~txn:6 (Mv.Read_error { blocking_txn_idx = 2 });
+  (* First real execution writes only location 4: estimate at 5 cleaned. *)
+  ignore (record mv ~txn:2 ~inc:0 [ (4, 44) ]);
+  check_read "materialized" mv 4 ~txn:6 (Mv.Ok (ver 2 0, 44));
+  check_read "unwritten estimate removed" mv 5 ~txn:6 Mv.Not_found
+
+(* --- validate_read_set ---------------------------------------------------- *)
+
+let rs pairs =
+  Array.of_list
+    (List.map
+       (fun (l, o) ->
+         ( l,
+           match o with
+           | None -> Read_origin.Storage
+           | Some (t, i) -> Read_origin.Mv (ver t i) ))
+       pairs)
+
+let test_validate_ok () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore
+    (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)); (8, None) ]) [||]);
+  Alcotest.(check bool) "valid" true (Mv.validate_read_set mv 3)
+
+let test_validate_fails_on_new_writer () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)) ]) [||]);
+  (* A transaction between 1 and 3 now writes location 7. *)
+  ignore (record mv ~txn:2 ~inc:0 [ (7, 99) ]);
+  Alcotest.(check bool) "invalid" false (Mv.validate_read_set mv 3)
+
+let test_validate_fails_on_incarnation_bump () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)) ]) [||]);
+  ignore (record mv ~txn:1 ~inc:1 [ (7, 70) ]);
+  (* Same value, but new incarnation: descriptor comparison must fail. *)
+  Alcotest.(check bool) "invalid" false (Mv.validate_read_set mv 3)
+
+let test_validate_fails_on_estimate () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)) ]) [||]);
+  Mv.convert_writes_to_estimates mv 1;
+  Alcotest.(check bool) "invalid" false (Mv.validate_read_set mv 3)
+
+let test_validate_fails_on_disappeared_entry () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)) ]) [||]);
+  ignore (record mv ~txn:1 ~inc:1 []);
+  (* Entry gone: previously read from data, now NOT_FOUND. *)
+  Alcotest.(check bool) "invalid" false (Mv.validate_read_set mv 3)
+
+let test_validate_fails_storage_now_written () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, None) ]) [||]);
+  ignore (record mv ~txn:2 ~inc:0 [ (7, 5) ]);
+  (* Previously read from storage; now a lower transaction wrote. *)
+  Alcotest.(check bool) "invalid" false (Mv.validate_read_set mv 3)
+
+let test_validate_empty_read_set () =
+  let mv = Mv.create ~block_size:8 () in
+  Alcotest.(check bool) "trivially valid" true (Mv.validate_read_set mv 3)
+
+(* --- Snapshot ------------------------------------------------------------ *)
+
+let test_snapshot () =
+  let mv = Mv.create ~block_size:8 () in
+  ignore (record mv ~txn:0 ~inc:0 [ (1, 10); (2, 20) ]);
+  ignore (record mv ~txn:5 ~inc:0 [ (2, 25) ]);
+  ignore (record mv ~txn:3 ~inc:0 [ (4, 40) ]);
+  Alcotest.(check (list (pair int int)))
+    "final values, sorted"
+    [ (1, 10); (2, 25); (4, 40) ]
+    (Mv.snapshot mv)
+
+let test_snapshot_empty () =
+  let mv = Mv.create ~block_size:8 () in
+  Alcotest.(check (list (pair int int))) "empty" [] (Mv.snapshot mv)
+
+let test_snapshot_parallel_equals_sequential () =
+  let n = 300 in
+  let mv = Mv.create ~block_size:n () in
+  for j = 0 to n - 1 do
+    ignore (record mv ~txn:j ~inc:0 [ (j mod 97, j); (100 + j, j * 2) ])
+  done;
+  let seq = Mv.snapshot mv in
+  List.iter
+    (fun d ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "parallel snapshot, %d domains" d)
+        seq
+        (Mv.snapshot_parallel ~num_domains:d mv))
+    [ 1; 2; 4 ]
+
+(* --- Concurrency smoke --------------------------------------------------- *)
+
+(* Disjoint transactions recorded from four domains; snapshot must contain
+   every write. *)
+let test_concurrent_disjoint_records () =
+  let n = 400 in
+  let mv = Mv.create ~block_size:n () in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref d in
+            while !i < n do
+              ignore (record mv ~txn:!i ~inc:0 [ (!i, !i * 2) ]);
+              i := !i + 4
+            done))
+  in
+  Array.iter Domain.join domains;
+  let snap = Mv.snapshot mv in
+  Alcotest.(check int) "all locations present" n (List.length snap);
+  List.iter
+    (fun (l, v) -> Alcotest.(check int) "value" (l * 2) v)
+    snap
+
+let suite =
+  [
+    Alcotest.test_case "read: empty" `Quick test_read_empty;
+    Alcotest.test_case "read: highest lower writer" `Quick
+      test_read_highest_lower;
+    Alcotest.test_case "read: ESTIMATE -> READ_ERROR" `Quick
+      test_read_estimate;
+    Alcotest.test_case "read: returns incarnation" `Quick
+      test_read_incarnation_in_version;
+    Alcotest.test_case "record: wrote_new_location" `Quick
+      test_record_wrote_new_location;
+    Alcotest.test_case "record: removes stale entries" `Quick
+      test_record_removes_stale_entries;
+    Alcotest.test_case "entry_count tracks entries" `Quick test_entry_count;
+    Alcotest.test_case "estimates cover whole write-set" `Quick
+      test_estimates_cover_whole_write_set;
+    Alcotest.test_case "estimate cleared by next incarnation" `Quick
+      test_estimate_overwritten_by_next_incarnation;
+    Alcotest.test_case "remove_written_entries (ablation)" `Quick
+      test_remove_written_entries;
+    Alcotest.test_case "prefill_estimates (write pre-estimation)" `Quick
+      test_prefill_estimates;
+    Alcotest.test_case "validate: ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate: fails on new writer" `Quick
+      test_validate_fails_on_new_writer;
+    Alcotest.test_case "validate: fails on incarnation bump" `Quick
+      test_validate_fails_on_incarnation_bump;
+    Alcotest.test_case "validate: fails on estimate" `Quick
+      test_validate_fails_on_estimate;
+    Alcotest.test_case "validate: fails on disappeared entry" `Quick
+      test_validate_fails_on_disappeared_entry;
+    Alcotest.test_case "validate: fails when storage read now written" `Quick
+      test_validate_fails_storage_now_written;
+    Alcotest.test_case "validate: empty read-set" `Quick
+      test_validate_empty_read_set;
+    Alcotest.test_case "snapshot: final values sorted" `Quick test_snapshot;
+    Alcotest.test_case "snapshot: empty" `Quick test_snapshot_empty;
+    Alcotest.test_case "snapshot: parallel = sequential" `Quick
+      test_snapshot_parallel_equals_sequential;
+    Alcotest.test_case "concurrent disjoint records" `Quick
+      test_concurrent_disjoint_records;
+  ]

@@ -1,0 +1,419 @@
+(** Property-based tests (QCheck, registered as Alcotest cases).
+
+    The headline property is the paper's Theorem 1 + Corollary 2: for ANY
+    block of deterministic transactions and ANY number of threads, Block-STM
+    terminates and produces exactly the sequential execution's final state
+    and outputs. Transactions are generated as small random access programs
+    (reads, value-dependent writes, conditional failures) over a tiny
+    location space to maximize conflicts. *)
+
+open Blockstm_kernel
+open Tutil
+
+(* --- Random transaction programs ------------------------------------------ *)
+
+(* A transaction described as data (so it can shrink and print). Semantics:
+   ops run in order; an accumulator mixes in every value read; writes store
+   a deterministic function of the accumulator; [Fail_if_acc_odd] aborts the
+   transaction when the accumulator is odd at that point. *)
+type op =
+  | Read of int
+  | Write of int * int  (* location, salt *)
+  | Fail_if_acc_odd
+
+let pp_op ppf = function
+  | Read l -> Fmt.pf ppf "R%d" l
+  | Write (l, s) -> Fmt.pf ppf "W%d+%d" l s
+  | Fail_if_acc_odd -> Fmt.string ppf "F?"
+
+type prog = op list
+
+let txn_of_prog (p : prog) : itxn =
+ fun e ->
+  let acc = ref 1 in
+  List.iter
+    (fun op ->
+      match op with
+      | Read l ->
+          let v = match e.read l with Some v -> v | None -> l in
+          acc := (!acc * 31) + v
+      | Write (l, salt) -> e.write l ((!acc * 7) + salt)
+      | Fail_if_acc_odd -> if !acc land 1 = 1 then failwith "odd")
+    p;
+  !acc
+
+let n_locs = 6
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun l -> Read l) (int_bound (n_locs - 1)));
+        ( 4,
+          map2
+            (fun l s -> Write (l, s))
+            (int_bound (n_locs - 1))
+            (int_bound 100) );
+        (1, return Fail_if_acc_odd);
+      ])
+
+let prog_gen = QCheck2.Gen.(list_size (int_range 0 8) op_gen)
+let block_gen = QCheck2.Gen.(list_size (int_range 0 40) prog_gen)
+
+let print_block (b : prog list) =
+  Fmt.str "%a" (Fmt.Dump.list (Fmt.Dump.list pp_op)) b
+
+(* --- Properties ------------------------------------------------------------ *)
+
+let equal_results (a : int Seq.result) (b : int Bstm.result) =
+  a.snapshot = b.snapshot
+  && Array.for_all2 (Txn.equal_output Int.equal) a.outputs b.outputs
+
+let prop_blockstm_equals_sequential =
+  QCheck2.Test.make ~name:"blockstm = sequential (random programs, 1-4 domains)"
+    ~count:150 ~print:print_block block_gen (fun block ->
+      let txns = Array.of_list (List.map txn_of_prog block) in
+      let seq = Seq.run ~storage:zero_storage txns in
+      List.for_all
+        (fun d ->
+          let par =
+            Bstm.run
+              ~config:{ Bstm.default_config with num_domains = d }
+              ~storage:zero_storage txns
+          in
+          equal_results seq par)
+        [ 1; 2; 4 ])
+
+let prop_blockstm_ablations_equal_sequential =
+  QCheck2.Test.make
+    ~name:"blockstm ablations = sequential (no estimates / no prevalidate)"
+    ~count:80 ~print:print_block block_gen (fun block ->
+      let txns = Array.of_list (List.map txn_of_prog block) in
+      let seq = Seq.run ~storage:zero_storage txns in
+      List.for_all
+        (fun (use_estimates, prevalidate_reads) ->
+          let par =
+            Bstm.run
+              ~config:
+                {
+                  Bstm.default_config with
+                  num_domains = 3;
+                  use_estimates;
+                  prevalidate_reads;
+                }
+              ~storage:zero_storage txns
+          in
+          equal_results seq par)
+        [ (false, true); (true, false); (false, false) ])
+
+let prop_suspend_resume_equals_sequential =
+  QCheck2.Test.make
+    ~name:"suspend-resume blockstm = sequential (random programs)" ~count:80
+    ~print:print_block block_gen (fun block ->
+      let txns = Array.of_list (List.map txn_of_prog block) in
+      let seq = Seq.run ~storage:zero_storage txns in
+      let par =
+        Bstm.run
+          ~config:
+            { Bstm.default_config with num_domains = 3; suspend_resume = true }
+          ~storage:zero_storage txns
+      in
+      equal_results seq par)
+
+let prop_sim_blockstm_equals_sequential =
+  QCheck2.Test.make
+    ~name:"virtual-time blockstm = sequential (random threads)" ~count:100
+    ~print:(fun (b, t) -> Fmt.str "threads=%d %s" t (print_block b))
+    QCheck2.Gen.(pair block_gen (int_range 1 12))
+    (fun (block, threads) ->
+      let txns = Array.of_list (List.map txn_of_prog block) in
+      let seq = Seq.run ~storage:zero_storage txns in
+      (* Drive the real engine under virtual time with [threads] virtual
+         threads. *)
+      let inst =
+        Bstm.create_instance ~config:Bstm.default_config
+          ~storage:zero_storage txns
+      in
+      let engine =
+        {
+          Blockstm_simexec.Virtual_exec.start = Bstm.start_task inst;
+          finish = Bstm.finish_task inst;
+          profile = Bstm.pending_profile;
+          next_task = (fun () -> Scheduler.next_task inst.Bstm.sched);
+          is_done = (fun () -> Scheduler.done_ inst.Bstm.sched);
+        }
+      in
+      let _stats =
+        Blockstm_simexec.Virtual_exec.run ~num_threads:threads
+          ~cost:Blockstm_simexec.Cost_model.default engine
+      in
+      let par = Bstm.finalize inst in
+      Scheduler.num_active_tasks inst.Bstm.sched = 0 && equal_results seq par)
+
+let prop_litm_deterministic_and_conserving =
+  QCheck2.Test.make ~name:"litm: deterministic, same locations as sequential"
+    ~count:80 ~print:print_block block_gen (fun block ->
+      let txns = Array.of_list (List.map txn_of_prog block) in
+      let r1 = LitmI.run ~num_domains:1 ~storage:zero_storage txns in
+      let r2 = LitmI.run ~num_domains:3 ~storage:zero_storage txns in
+      r1.snapshot = r2.snapshot && r1.rounds = r2.rounds)
+
+let prop_bohm_equals_sequential_with_perfect_writes =
+  QCheck2.Test.make ~name:"bohm = sequential given perfect write-sets"
+    ~count:80 ~print:print_block block_gen (fun block ->
+      let txns_desc = Array.of_list block in
+      let txns = Array.map txn_of_prog txns_desc in
+      (* Perfect write-sets from a profiling pass: the superset of locations
+         the transaction writes in the committed schedule. For BOHM
+         correctness declared ⊇ actual; our programs' write locations are
+         static, so the declared set is exact. *)
+      let declared =
+        Array.map
+          (fun p ->
+            List.filter_map
+              (function Write (l, _) -> Some l | _ -> None)
+              p
+            |> List.sort_uniq compare |> Array.of_list)
+          txns_desc
+      in
+      let seq = Seq.run ~storage:zero_storage txns in
+      List.for_all
+        (fun d ->
+          let b =
+            BohmI.run ~num_domains:d ~storage:zero_storage
+              ~declared_writes:declared txns
+          in
+          b.snapshot = seq.snapshot
+          && Array.for_all2
+               (Txn.equal_output Int.equal)
+               b.outputs seq.outputs)
+        [ 1; 3 ])
+
+(* --- Model-based MVMemory ------------------------------------------------- *)
+
+(* Reference model: association list (loc, txn) -> entry, with the same
+   read semantics as Algorithm 3. *)
+module Model = struct
+  type entry = Val of int * int (* incarnation, value *) | Est
+
+  type t = ((int * int) * entry) list ref
+
+  let create () : t = ref []
+
+  let write (m : t) ~loc ~txn e =
+    m := ((loc, txn), e) :: List.remove_assoc (loc, txn) !m
+
+  let remove (m : t) ~loc ~txn = m := List.remove_assoc (loc, txn) !m
+
+  let read (m : t) ~loc ~txn =
+    let candidates =
+      List.filter (fun ((l, t), _) -> l = loc && t < txn) !m
+      |> List.sort (fun ((_, a), _) ((_, b), _) -> compare b a)
+    in
+    match candidates with
+    | [] -> `Not_found
+    | ((_, t), Est) :: _ -> `Estimate t
+    | ((_, t), Val (i, v)) :: _ -> `Ok (t, i, v)
+end
+
+type mv_op =
+  | Op_record of int * int list  (* txn, write locations (values derived) *)
+  | Op_convert of int  (* convert writes to estimates *)
+
+let pp_mv_op ppf = function
+  | Op_record (t, ls) ->
+      Fmt.pf ppf "record(%d,[%a])" t Fmt.(list ~sep:comma int) ls
+  | Op_convert t -> Fmt.pf ppf "convert(%d)" t
+
+let mv_block_size = 6
+
+let mv_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 4,
+          map2
+            (fun t ls -> Op_record (t, List.sort_uniq compare ls))
+            (int_bound (mv_block_size - 1))
+            (list_size (int_range 0 3) (int_bound (n_locs - 1))) );
+        (2, map (fun t -> Op_convert t) (int_bound (mv_block_size - 1)));
+      ])
+
+let prop_mvmemory_matches_model =
+  QCheck2.Test.make ~name:"mvmemory read semantics match reference model"
+    ~count:300
+    ~print:(fun ops -> Fmt.str "%a" (Fmt.Dump.list pp_mv_op) ops)
+    QCheck2.Gen.(list_size (int_range 1 25) mv_op_gen)
+    (fun ops ->
+      let mv = Mv.create ~block_size:mv_block_size () in
+      let model = Model.create () in
+      let incarnations = Array.make mv_block_size 0 in
+      let recorded = Array.make mv_block_size false in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_record (txn, locs) ->
+              let inc = incarnations.(txn) in
+              incarnations.(txn) <- inc + 1;
+              recorded.(txn) <- true;
+              let ws =
+                Array.of_list
+                  (List.map (fun l -> (l, (txn * 100) + (inc * 10) + l)) locs)
+              in
+              ignore
+                (Mv.record mv
+                   (Version.make ~txn_idx:txn ~incarnation:inc)
+                   [||] ws);
+              (* Model: add new writes, remove stale ones. *)
+              for l = 0 to n_locs - 1 do
+                if List.mem l locs then
+                  Model.write model ~loc:l ~txn
+                    (Model.Val (inc, (txn * 100) + (inc * 10) + l))
+                else Model.remove model ~loc:l ~txn
+              done
+          | Op_convert txn ->
+              if recorded.(txn) then begin
+                Mv.convert_writes_to_estimates mv txn;
+                (* Model: every current entry of txn becomes an estimate. *)
+                List.iter
+                  (fun ((l, t), _) ->
+                    if t = txn then Model.write model ~loc:l ~txn Model.Est)
+                  !model
+              end)
+        ops;
+      (* Compare every read the engine could make. *)
+      List.for_all
+        (fun loc ->
+          List.for_all
+            (fun txn ->
+              let actual = Mv.read mv loc ~txn_idx:txn in
+              match (Model.read model ~loc ~txn, actual) with
+              | `Not_found, Mv.Not_found -> true
+              | `Estimate t, Mv.Read_error { blocking_txn_idx } ->
+                  t = blocking_txn_idx
+              | `Ok (t, i, v), Mv.Ok (ver, value) ->
+                  Version.txn_idx ver = t
+                  && Version.incarnation ver = i
+                  && value = v
+              | _ -> false)
+            (List.init (mv_block_size + 1) Fun.id))
+        (List.init n_locs Fun.id))
+
+(* --- Parser round-trip ----------------------------------------------------- *)
+
+let ident_gen =
+  QCheck2.Gen.(
+    map
+      (fun (c, rest) ->
+        let s =
+          String.init (1 + String.length rest) (fun i ->
+              if i = 0 then Char.chr (Char.code 'a' + c)
+              else rest.[i - 1])
+        in
+        (* Identifiers colliding with keywords would not round-trip. *)
+        if List.mem_assoc s Blockstm_minimove.Lexer.keywords then s ^ "_"
+        else s)
+      (pair (int_bound 25)
+         (string_size ~gen:(char_range 'a' 'z') (int_bound 5))))
+
+let rec expr_gen depth =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Blockstm_minimove.Ast.Int i) (int_bound 1000);
+        map (fun b -> Blockstm_minimove.Ast.Bool b) bool;
+        map (fun a -> Blockstm_minimove.Ast.Addr a) (int_bound 1000);
+        return Blockstm_minimove.Ast.Unit;
+        map (fun x -> Blockstm_minimove.Ast.Var x) ident_gen;
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (3, leaf);
+        ( 2,
+          map3
+            (fun op a b -> Blockstm_minimove.Ast.Binop (op, a, b))
+            (oneofl
+               Blockstm_minimove.Ast.
+                 [ Add; Sub; Mul; Div; Eq; Lt; And; Or ])
+            (expr_gen (depth - 1))
+            (expr_gen (depth - 1)) );
+        ( 1,
+          map
+            (fun e -> Blockstm_minimove.Ast.Unop (Not, e))
+            (expr_gen (depth - 1)) );
+        ( 1,
+          map2
+            (fun f args -> Blockstm_minimove.Ast.Call (f, args))
+            ident_gen
+            (list_size (int_range 0 3) (expr_gen (depth - 1))) );
+        ( 1,
+          map2
+            (fun e f -> Blockstm_minimove.Ast.Field (e, f))
+            (expr_gen (depth - 1))
+            ident_gen );
+        ( 1,
+          map3
+            (fun c t e -> Blockstm_minimove.Ast.If_expr (c, t, e))
+            (expr_gen (depth - 1))
+            (expr_gen (depth - 1))
+            (expr_gen (depth - 1)) );
+        ( 1,
+          map2
+            (fun a r -> Blockstm_minimove.Ast.Load (a, r))
+            (expr_gen (depth - 1))
+            ident_gen );
+      ]
+
+let prop_parser_roundtrip =
+  QCheck2.Test.make ~name:"minimove: pp then parse is identity on expressions"
+    ~count:200
+    ~print:(fun e ->
+      Fmt.str "%a" Blockstm_minimove.Ast.pp_expr e)
+    (expr_gen 3)
+    (fun e ->
+      let src =
+        Fmt.str "fun main() { return %a; }" Blockstm_minimove.Ast.pp_expr e
+      in
+      match Blockstm_minimove.Parser.parse src with
+      | { funcs = [ { body = [ Return e' ]; _ } ] } -> e = e'
+      | _ -> false
+      | exception _ -> false)
+
+(* --- Rng properties -------------------------------------------------------- *)
+
+let prop_rng_int_in_bounds =
+  QCheck2.Test.make ~name:"rng: int within bounds" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_bound 10_000))
+    (fun (bound, seed) ->
+      let rng = Blockstm_workload.Rng.create seed in
+      let v = Blockstm_workload.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_zipf_in_bounds =
+  QCheck2.Test.make ~name:"rng: zipf within bounds" ~count:500
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (float_bound_inclusive 2.0)
+        (int_bound 10_000))
+    (fun (n, theta, seed) ->
+      let rng = Blockstm_workload.Rng.create seed in
+      let v = Blockstm_workload.Rng.zipf rng ~n ~theta in
+      v >= 0 && v < n)
+
+let suite =
+  List.map Tutil.qcheck_to_alcotest
+    [
+      prop_blockstm_equals_sequential;
+      prop_blockstm_ablations_equal_sequential;
+      prop_suspend_resume_equals_sequential;
+      prop_sim_blockstm_equals_sequential;
+      prop_litm_deterministic_and_conserving;
+      prop_bohm_equals_sequential_with_perfect_writes;
+      prop_mvmemory_matches_model;
+      prop_parser_roundtrip;
+      prop_rng_int_in_bounds;
+      prop_rng_zipf_in_bounds;
+    ]

@@ -1,0 +1,281 @@
+(** Unit tests for the collaborative scheduler (Algorithms 5–9), driven
+    single-threaded through scripted scenarios. *)
+
+open Tutil
+module S = Scheduler
+
+let ver t i = Blockstm_kernel.Version.make ~txn_idx:t ~incarnation:i
+
+let task_pp ppf = function
+  | S.Execution v -> Fmt.pf ppf "Execution%a" Blockstm_kernel.Version.pp v
+  | S.Validation v -> Fmt.pf ppf "Validation%a" Blockstm_kernel.Version.pp v
+
+let task_eq a b =
+  match (a, b) with
+  | S.Execution x, S.Execution y | S.Validation x, S.Validation y ->
+      Blockstm_kernel.Version.equal x y
+  | _ -> false
+
+let task = Alcotest.testable task_pp task_eq
+let opt_task = Alcotest.option task
+
+let test_initial_state () =
+  let s = S.create ~block_size:4 in
+  Alcotest.(check int) "execution_idx" 0 (S.execution_idx s);
+  Alcotest.(check int) "validation_idx" 0 (S.validation_idx s);
+  Alcotest.(check int) "num_active" 0 (S.num_active_tasks s);
+  Alcotest.(check bool) "not done" false (S.done_ s);
+  Array.iteri
+    (fun i () ->
+      let inc, kind = S.status s i in
+      Alcotest.(check int) "incarnation 0" 0 inc;
+      Alcotest.(check bool) "ready" true (kind = S.Ready_to_execute))
+    (Array.make 4 ())
+
+let test_initial_tasks_are_executions_in_order () =
+  let s = S.create ~block_size:3 in
+  Alcotest.check opt_task "tx0" (Some (S.Execution (ver 0 0))) (S.next_task s);
+  Alcotest.check opt_task "tx1" (Some (S.Execution (ver 1 0))) (S.next_task s);
+  Alcotest.check opt_task "tx2" (Some (S.Execution (ver 2 0))) (S.next_task s);
+  Alcotest.(check int) "three active tasks" 3 (S.num_active_tasks s);
+  (* Everything claimed: no more tasks, but not done (tasks ongoing). *)
+  Alcotest.check opt_task "exhausted" None (S.next_task s);
+  Alcotest.(check bool) "not done while active" false (S.done_ s)
+
+let test_execute_then_validate_then_done () =
+  let s = S.create ~block_size:2 in
+  let t0 = S.next_task s and t1 = S.next_task s in
+  Alcotest.check opt_task "exec 0" (Some (S.Execution (ver 0 0))) t0;
+  Alcotest.check opt_task "exec 1" (Some (S.Execution (ver 1 0))) t1;
+  (* Finishing an execution with validation_idx <= txn returns no task (the
+     validation sweep will reach it). *)
+  Alcotest.check opt_task "no handoff for tx0"
+    None
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  Alcotest.check opt_task "no handoff for tx1"
+    None
+    (S.finish_execution s ~txn_idx:1 ~incarnation:0 ~wrote_new_location:true);
+  Alcotest.(check int) "no active tasks" 0 (S.num_active_tasks s);
+  (* Validations now flow in index order. *)
+  Alcotest.check opt_task "val 0" (Some (S.Validation (ver 0 0)))
+    (S.next_task s);
+  Alcotest.check opt_task "val 1" (Some (S.Validation (ver 1 0)))
+    (S.next_task s);
+  Alcotest.check opt_task "nothing after" None
+    (S.finish_validation s ~txn_idx:0 ~aborted:false);
+  Alcotest.check opt_task "nothing after" None
+    (S.finish_validation s ~txn_idx:1 ~aborted:false);
+  (* All indices beyond block, no active tasks: done flips on next poll. *)
+  Alcotest.check opt_task "final poll" None (S.next_task s);
+  Alcotest.(check bool) "done" true (S.done_ s)
+
+let test_finish_execution_handoff_no_new_location () =
+  let s = S.create ~block_size:1 in
+  ignore (S.next_task s);
+  ignore (S.finish_execution s ~txn_idx:0 ~incarnation:0
+            ~wrote_new_location:false);
+  ignore (S.next_task s);
+  (* Validation of (0,0) claimed; abort it to force re-execution. *)
+  Alcotest.(check bool) "abort wins" true (S.try_validation_abort s (ver 0 0));
+  let re = S.finish_validation s ~txn_idx:0 ~aborted:true in
+  Alcotest.check opt_task "re-execution handed back"
+    (Some (S.Execution (ver 0 1)))
+    re;
+  (* Re-executed incarnation writes no new location while validation_idx is
+     already past it: the validation task is handed back to the caller. *)
+  let v =
+    S.finish_execution s ~txn_idx:0 ~incarnation:1 ~wrote_new_location:false
+  in
+  Alcotest.check opt_task "validation handed back"
+    (Some (S.Validation (ver 0 1)))
+    v;
+  Alcotest.check opt_task "validation done" None
+    (S.finish_validation s ~txn_idx:0 ~aborted:false);
+  ignore (S.next_task s);
+  Alcotest.(check bool) "done" true (S.done_ s)
+
+let test_abort_lowers_validation_idx () =
+  let s = S.create ~block_size:3 in
+  for _ = 1 to 3 do ignore (S.next_task s) done;
+  for i = 0 to 2 do
+    ignore
+      (S.finish_execution s ~txn_idx:i ~incarnation:0 ~wrote_new_location:true)
+  done;
+  (* Validate all three. *)
+  let claimed = List.init 3 (fun _ -> S.next_task s) in
+  Alcotest.(check int) "validation idx swept" 3 (S.validation_idx s);
+  ignore claimed;
+  (* tx1 fails validation. *)
+  Alcotest.(check bool) "abort" true (S.try_validation_abort s (ver 1 0));
+  let re = S.finish_validation s ~txn_idx:1 ~aborted:true in
+  Alcotest.check opt_task "re-exec handed back" (Some (S.Execution (ver 1 1)))
+    re;
+  (* Validation index must have been pulled back to txn+1 = 2. *)
+  Alcotest.(check int) "validation idx lowered" 2 (S.validation_idx s);
+  (* Finish remaining validations and the re-execution. *)
+  ignore (S.finish_validation s ~txn_idx:0 ~aborted:false);
+  ignore (S.finish_validation s ~txn_idx:2 ~aborted:false);
+  ignore
+    (S.finish_execution s ~txn_idx:1 ~incarnation:1 ~wrote_new_location:true);
+  (* tx1's new incarnation and tx2 must be re-validated. *)
+  Alcotest.check opt_task "re-validate tx1" (Some (S.Validation (ver 1 1)))
+    (S.next_task s);
+  Alcotest.check opt_task "re-validate tx2" (Some (S.Validation (ver 2 0)))
+    (S.next_task s);
+  ignore (S.finish_validation s ~txn_idx:1 ~aborted:false);
+  ignore (S.finish_validation s ~txn_idx:2 ~aborted:false);
+  ignore (S.next_task s);
+  Alcotest.(check bool) "done" true (S.done_ s)
+
+let test_validation_abort_only_once () =
+  let s = S.create ~block_size:1 in
+  ignore (S.next_task s);
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  ignore (S.next_task s);
+  Alcotest.(check bool) "first abort wins" true
+    (S.try_validation_abort s (ver 0 0));
+  Alcotest.(check bool) "second abort loses" false
+    (S.try_validation_abort s (ver 0 0))
+
+let test_validation_abort_wrong_incarnation () =
+  let s = S.create ~block_size:1 in
+  ignore (S.next_task s);
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  Alcotest.(check bool) "stale incarnation" false
+    (S.try_validation_abort s (ver 0 1));
+  Alcotest.(check bool) "future incarnation" false
+    (S.try_validation_abort s (ver 0 5))
+
+let test_validation_abort_requires_executed () =
+  let s = S.create ~block_size:2 in
+  ignore (S.next_task s);
+  (* tx0 still EXECUTING. *)
+  Alcotest.(check bool) "not executed yet" false
+    (S.try_validation_abort s (ver 0 0))
+
+let test_add_dependency_on_executed_returns_false () =
+  let s = S.create ~block_size:2 in
+  ignore (S.next_task s);
+  ignore (S.next_task s);
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  (* tx1 observed an estimate of tx0, but tx0 finished in the meantime. *)
+  Alcotest.(check bool) "already resolved" false
+    (S.add_dependency s ~txn_idx:1 ~blocking_txn_idx:0);
+  let _, kind = S.status s 1 in
+  Alcotest.(check bool) "tx1 still executing" true (kind = S.Executing)
+
+let test_add_dependency_parks_and_resumes () =
+  let s = S.create ~block_size:2 in
+  ignore (S.next_task s);
+  (* tx0 executing *)
+  ignore (S.next_task s);
+  (* tx1 executing *)
+  Alcotest.(check bool) "parked" true
+    (S.add_dependency s ~txn_idx:1 ~blocking_txn_idx:0);
+  let _, kind = S.status s 1 in
+  Alcotest.(check bool) "tx1 aborting" true (kind = S.Aborting);
+  Alcotest.(check (list int)) "dependency recorded" [ 1 ] (S.dependents s 0);
+  Alcotest.(check int) "active tasks drops to 1" 1 (S.num_active_tasks s);
+  (* tx0 finishing must resume tx1 with a bumped incarnation. *)
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  let inc, kind = S.status s 1 in
+  Alcotest.(check int) "incarnation bumped" 1 inc;
+  Alcotest.(check bool) "ready again" true (kind = S.Ready_to_execute);
+  Alcotest.(check (list int)) "dependencies cleared" [] (S.dependents s 0);
+  (* Execution index must allow re-claiming tx1. *)
+  Alcotest.(check bool) "execution idx lowered" true (S.execution_idx s <= 1)
+
+let test_done_empty_block () =
+  let s = S.create ~block_size:0 in
+  Alcotest.check opt_task "no task" None (S.next_task s);
+  Alcotest.(check bool) "done immediately" true (S.done_ s)
+
+let test_num_active_never_negative_scripted () =
+  let s = S.create ~block_size:2 in
+  let check () =
+    Alcotest.(check bool) "non-negative" true (S.num_active_tasks s >= 0)
+  in
+  ignore (S.next_task s);
+  check ();
+  ignore (S.next_task s);
+  check ();
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:false);
+  check ();
+  ignore
+    (S.finish_execution s ~txn_idx:1 ~incarnation:0 ~wrote_new_location:false);
+  check ();
+  ignore (S.next_task s);
+  check ();
+  ignore (S.finish_validation s ~txn_idx:0 ~aborted:false);
+  check ();
+  ignore (S.next_task s);
+  ignore (S.finish_validation s ~txn_idx:1 ~aborted:false);
+  check ();
+  ignore (S.next_task s);
+  Alcotest.(check int) "zero at completion" 0 (S.num_active_tasks s)
+
+(* decrease_cnt must tick on every index decrease (the double-collect's
+   correctness hinges on it). Note that next_task fetch-and-increments
+   validation_idx even while transactions are still EXECUTING (the paper's
+   Line 130) — those pre-validations no-op but the index races ahead, so a
+   later finish_execution must pull it back and tick the counter. *)
+let test_decrease_cnt_ticks () =
+  let s = S.create ~block_size:3 in
+  for _ = 1 to 3 do ignore (S.next_task s) done;
+  (* The interleaved claims above advanced validation_idx past 0. *)
+  Alcotest.(check bool) "validation idx raced ahead" true
+    (S.validation_idx s > 0);
+  let c0 = S.decrease_cnt s in
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  Alcotest.(check bool) "tick on validation-idx pullback" true
+    (S.decrease_cnt s > c0);
+  Alcotest.(check int) "validation idx pulled back to 0" 0
+    (S.validation_idx s);
+  (* An abort with the validation index ahead must also tick. *)
+  ignore
+    (S.finish_execution s ~txn_idx:1 ~incarnation:0 ~wrote_new_location:false);
+  ignore
+    (S.finish_execution s ~txn_idx:2 ~incarnation:0 ~wrote_new_location:false);
+  ignore (S.next_task s);
+  (* validate tx0 *)
+  ignore (S.next_task s);
+  (* validate tx1 *)
+  let c1 = S.decrease_cnt s in
+  Alcotest.(check bool) "abort" true (S.try_validation_abort s (ver 1 0));
+  ignore (S.finish_validation s ~txn_idx:1 ~aborted:true);
+  Alcotest.(check bool) "tick on abort" true (S.decrease_cnt s > c1)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "initial tasks: executions in order" `Quick
+      test_initial_tasks_are_executions_in_order;
+    Alcotest.test_case "execute, validate, done" `Quick
+      test_execute_then_validate_then_done;
+    Alcotest.test_case "handoff: validation task on no-new-location" `Quick
+      test_finish_execution_handoff_no_new_location;
+    Alcotest.test_case "abort lowers validation index" `Quick
+      test_abort_lowers_validation_idx;
+    Alcotest.test_case "abort succeeds only once per version" `Quick
+      test_validation_abort_only_once;
+    Alcotest.test_case "abort needs matching incarnation" `Quick
+      test_validation_abort_wrong_incarnation;
+    Alcotest.test_case "abort needs EXECUTED status" `Quick
+      test_validation_abort_requires_executed;
+    Alcotest.test_case "add_dependency: resolved race returns false" `Quick
+      test_add_dependency_on_executed_returns_false;
+    Alcotest.test_case "add_dependency: parks and resumes" `Quick
+      test_add_dependency_parks_and_resumes;
+    Alcotest.test_case "empty block is done immediately" `Quick
+      test_done_empty_block;
+    Alcotest.test_case "num_active_tasks stays consistent" `Quick
+      test_num_active_never_negative_scripted;
+    Alcotest.test_case "decrease_cnt ticks on index decreases" `Quick
+      test_decrease_cnt_ticks;
+  ]

@@ -1,0 +1,80 @@
+(** Tests for the statistics toolkit. *)
+
+module D = Blockstm_stats.Descriptive
+module T = Blockstm_stats.Table
+module C = Blockstm_stats.Clock
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check bool) "mean" true (feq (D.mean xs) 5.0);
+  Alcotest.(check bool) "stddev (sample)" true
+    (feq (D.stddev xs) (sqrt (32. /. 7.)));
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (D.mean [||]));
+  Alcotest.(check bool) "singleton variance 0" true
+    (feq (D.variance [| 3. |]) 0.)
+
+let test_percentiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check bool) "median" true (feq (D.median xs) 3.0);
+  Alcotest.(check bool) "p0 = min" true (feq (D.percentile 0. xs) 1.0);
+  Alcotest.(check bool) "p100 = max" true (feq (D.percentile 100. xs) 5.0);
+  Alcotest.(check bool) "p25 interpolates" true
+    (feq (D.percentile 25. xs) 2.0);
+  Alcotest.(check bool) "p10 interpolates" true
+    (feq (D.percentile 10. xs) 1.4);
+  (* Unsorted input must give the same result. *)
+  Alcotest.(check bool) "order independent" true
+    (feq (D.median [| 5.; 1.; 3.; 2.; 4. |]) 3.0);
+  Alcotest.(check bool) "out of range rejected" true
+    (match D.percentile 101. xs with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_summary () =
+  let s = D.summarize [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "n" 4 s.n;
+  Alcotest.(check bool) "min" true (feq s.min 1.);
+  Alcotest.(check bool) "max" true (feq s.max 4.);
+  Alcotest.(check bool) "mean" true (feq s.mean 2.5)
+
+let test_geomean () =
+  Alcotest.(check bool) "geomean" true
+    (feq (D.geomean [| 1.; 4. |]) 2.0);
+  Alcotest.(check bool) "identity" true (feq (D.geomean [| 7. |]) 7.0)
+
+let test_table_rendering () =
+  let t = T.create ~title:"demo" ~header:[ "a"; "long-column" ] in
+  T.add_row t [ "1"; "2" ];
+  T.add_row t [ "333"; "4" ];
+  let out = Fmt.str "%a" T.render t in
+  Alcotest.(check bool) "contains title" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains out "demo" && contains out "long-column"
+     && contains out "333")
+
+let test_clock () =
+  let (), ns = C.time_ns (fun () -> ()) in
+  Alcotest.(check bool) "non-negative" true (Int64.compare ns 0L >= 0);
+  Alcotest.(check bool) "tps" true
+    (feq (C.tps ~txns:1000 ~elapsed_ns:1_000_000_000L) 1000.0);
+  Alcotest.(check bool) "tps of zero elapsed" true
+    (C.tps ~txns:1 ~elapsed_ns:0L = infinity)
+
+let suite =
+  [
+    Alcotest.test_case "mean / variance / stddev" `Quick test_mean_variance;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "geometric mean" `Quick test_geomean;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "clock" `Quick test_clock;
+  ]

@@ -1,0 +1,76 @@
+(** Tests for the Memstore storage substrate. *)
+
+open Tutil
+
+let test_basic_ops () =
+  let s = Store.create () in
+  Alcotest.(check (option int)) "empty get" None (Store.get s 1);
+  Store.set s 1 10;
+  Alcotest.(check (option int)) "get after set" (Some 10) (Store.get s 1);
+  Store.set s 1 11;
+  Alcotest.(check (option int)) "overwrite" (Some 11) (Store.get s 1);
+  Alcotest.(check int) "cardinal" 1 (Store.cardinal s);
+  Alcotest.(check bool) "mem" true (Store.mem s 1);
+  Store.remove s 1;
+  Alcotest.(check bool) "removed" false (Store.mem s 1)
+
+let test_of_list_and_to_alist () =
+  let s = Store.of_list [ (3, 30); (1, 10); (2, 20); (1, 11) ] in
+  Alcotest.(check (list (pair int int)))
+    "sorted, last duplicate wins"
+    [ (1, 11); (2, 20); (3, 30) ]
+    (Store.to_alist s)
+
+let test_reader () =
+  let s = Store.of_list [ (5, 50) ] in
+  let r = Store.reader s in
+  Alcotest.(check (option int)) "hit" (Some 50) (r 5);
+  Alcotest.(check (option int)) "miss" None (r 6)
+
+let test_apply_delta () =
+  let s = Store.of_list [ (1, 1); (2, 2) ] in
+  Store.apply_delta s [ (2, 22); (3, 33) ];
+  Alcotest.(check (list (pair int int)))
+    "merged"
+    [ (1, 1); (2, 22); (3, 33) ]
+    (Store.to_alist s)
+
+let test_copy_isolated () =
+  let s = Store.of_list [ (1, 1) ] in
+  let c = Store.copy s in
+  Store.set c 1 99;
+  Alcotest.(check (option int)) "original untouched" (Some 1) (Store.get s 1);
+  Alcotest.(check (option int)) "copy changed" (Some 99) (Store.get c 1)
+
+let test_equal () =
+  let a = Store.of_list [ (1, 1); (2, 2) ] in
+  let b = Store.of_list [ (2, 2); (1, 1) ] in
+  Alcotest.(check bool) "equal" true (Store.equal a b);
+  Store.set b 3 3;
+  Alcotest.(check bool) "not equal (extra)" false (Store.equal a b);
+  Store.remove b 3;
+  Store.set b 2 0;
+  Alcotest.(check bool) "not equal (value)" false (Store.equal a b)
+
+(* Chaining blocks: the snapshot of block k feeds storage of block k+1. *)
+let test_block_chaining () =
+  let s = Store.create () in
+  Store.set s 0 0;
+  for _block = 1 to 5 do
+    let txns = Array.init 10 (fun _ -> incr_txn 0) in
+    let r = Bstm.run ~storage:(Store.reader s) txns in
+    Store.apply_delta s r.snapshot
+  done;
+  Alcotest.(check (option int)) "50 increments across 5 blocks" (Some 50)
+    (Store.get s 0)
+
+let suite =
+  [
+    Alcotest.test_case "basic operations" `Quick test_basic_ops;
+    Alcotest.test_case "of_list / to_alist" `Quick test_of_list_and_to_alist;
+    Alcotest.test_case "reader view" `Quick test_reader;
+    Alcotest.test_case "apply_delta" `Quick test_apply_delta;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "block chaining" `Quick test_block_chaining;
+  ]

@@ -1,0 +1,124 @@
+(** Direct unit tests of the virtual-time driver ({!Virtual_exec.run}) using
+    a scripted fake engine: verifies min-clock scheduling, two-phase task
+    overlap, cost accounting, and the idle fast-forward — independent of the
+    real Block-STM engine. *)
+
+open Blockstm_kernel
+module VE = Blockstm_simexec.Virtual_exec
+module CM = Blockstm_simexec.Cost_model
+
+let v i = Version.make ~txn_idx:i ~incarnation:0
+
+(* A fake engine: a fixed queue of "execution" tasks, each with a given
+   read-count (driving its cost). Records the virtual-time order in which
+   tasks start and finish. *)
+type fake = {
+  mutable queue : (int * int) list;  (* task id, reads *)
+  mutable in_flight : int;
+  mutable events : string list;  (* reverse order *)
+  mutable remaining : int;
+}
+
+let make_fake tasks =
+  { queue = tasks; in_flight = 0; events = []; remaining = List.length tasks }
+
+let fake_engine (f : fake) : (int * int, int * int) VE.engine =
+  {
+    start =
+      (fun (id, reads) ->
+        f.events <- Printf.sprintf "start:%d" id :: f.events;
+        (id, reads));
+    finish =
+      (fun (id, reads) ->
+        f.events <- Printf.sprintf "finish:%d" id :: f.events;
+        f.in_flight <- f.in_flight - 1;
+        f.remaining <- f.remaining - 1;
+        (None, Step_event.Executed { version = v id; reads; writes = 1 }));
+    profile = (fun (_, reads) -> `Exec (reads, 1));
+    next_task =
+      (fun () ->
+        match f.queue with
+        | [] -> None
+        | t :: rest ->
+            f.queue <- rest;
+            f.in_flight <- f.in_flight + 1;
+            Some t);
+    is_done = (fun () -> f.remaining = 0 && f.queue = []);
+  }
+
+let cost = CM.default
+let exec_us reads = CM.exec_cost cost ~reads ~writes:1
+
+let test_single_thread_serializes () =
+  let f = make_fake [ (0, 10); (1, 10); (2, 10) ] in
+  let stats = VE.run ~num_threads:1 ~cost (fake_engine f) in
+  (* Makespan = 3 executions + the claim costs. *)
+  let expected_work = 3.0 *. exec_us 10 in
+  Alcotest.(check bool) "makespan >= work" true
+    (stats.makespan_us >= expected_work);
+  Alcotest.(check bool) "makespan close to work" true
+    (stats.makespan_us < expected_work +. 10.0);
+  Alcotest.(check int) "3 executions" 3 stats.executions;
+  (* Single thread: strict start/finish alternation. *)
+  Alcotest.(check (list string)) "serialized order"
+    [ "start:0"; "finish:0"; "start:1"; "finish:1"; "start:2"; "finish:2" ]
+    (List.rev f.events)
+
+let test_two_threads_overlap () =
+  let f = make_fake [ (0, 10); (1, 10) ] in
+  let stats = VE.run ~num_threads:2 ~cost (fake_engine f) in
+  (* Both tasks must be in flight before either finishes. *)
+  let order = List.rev f.events in
+  Alcotest.(check (list string)) "overlapping order"
+    [ "start:0"; "start:1"; "finish:0"; "finish:1" ]
+    order;
+  Alcotest.(check bool) "parallel makespan" true
+    (stats.makespan_us < 2.0 *. exec_us 10)
+
+let test_cost_drives_finish_order () =
+  (* Task 0 is long, task 1 short: with 2 threads, 1 finishes first. *)
+  let f = make_fake [ (0, 100); (1, 5) ] in
+  ignore (VE.run ~num_threads:2 ~cost (fake_engine f));
+  let order = List.rev f.events in
+  Alcotest.(check (list string)) "short task finishes first"
+    [ "start:0"; "start:1"; "finish:1"; "finish:0" ]
+    order
+
+let test_busy_accounting () =
+  let f = make_fake [ (0, 10); (1, 20); (2, 30) ] in
+  let stats = VE.run ~num_threads:2 ~cost (fake_engine f) in
+  let work = exec_us 10 +. exec_us 20 +. exec_us 30 in
+  (* Busy time = task work + claim costs (3 claims + final empty polls). *)
+  Alcotest.(check bool) "busy >= work" true (stats.busy_us >= work);
+  Alcotest.(check bool) "busy bounded" true
+    (stats.busy_us <= work +. (10.0 *. cost.CM.sched))
+
+let test_idle_fast_forward_bounded_steps () =
+  (* 16 threads, one long task: idle threads must skip to its finish rather
+     than spin in sched-sized steps. *)
+  let f = make_fake [ (0, 10_000) ] in
+  let stats = VE.run ~num_threads:16 ~cost (fake_engine f) in
+  Alcotest.(check bool)
+    (Printf.sprintf "few steps (got %d)" stats.steps)
+    true (stats.steps < 200);
+  Alcotest.(check int) "one execution" 1 stats.executions
+
+let test_empty_engine_terminates () =
+  let f = make_fake [] in
+  let stats = VE.run ~num_threads:4 ~cost (fake_engine f) in
+  Alcotest.(check int) "no executions" 0 stats.executions
+
+let suite =
+  [
+    Alcotest.test_case "single thread serializes" `Quick
+      test_single_thread_serializes;
+    Alcotest.test_case "two threads overlap start/finish" `Quick
+      test_two_threads_overlap;
+    Alcotest.test_case "cost drives finish order" `Quick
+      test_cost_drives_finish_order;
+    Alcotest.test_case "busy-time accounting" `Quick test_busy_accounting;
+    Alcotest.test_case "idle fast-forward bounds steps" `Quick
+      test_idle_fast_forward_bounded_steps;
+    Alcotest.test_case "empty engine terminates" `Quick
+      test_empty_engine_terminates;
+  ]

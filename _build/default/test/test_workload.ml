@@ -1,0 +1,328 @@
+(** Tests for the workload generators: the p2p transactions must have
+    exactly the read/write footprint the paper specifies, perfect declared
+    write-sets, and conservation invariants. *)
+
+open Blockstm_workload
+
+let profile spec =
+  let w = P2p.generate spec in
+  (w, Harness.Prof.run ~storage:(Ledger.Store.reader w.storage) w.txns)
+
+let test_standard_footprint () =
+  let _, profiles =
+    profile { P2p.default_spec with flavor = Standard; block_size = 50 }
+  in
+  Array.iter
+    (fun (p : Harness.Prof.txn_profile) ->
+      Alcotest.(check int) "21 reads" 21 p.reads;
+      Alcotest.(check int) "4 writes" 4 p.writes)
+    profiles
+
+let test_simplified_footprint () =
+  let _, profiles =
+    profile { P2p.default_spec with flavor = Simplified; block_size = 50 }
+  in
+  Array.iter
+    (fun (p : Harness.Prof.txn_profile) ->
+      Alcotest.(check int) "12 reads" 12 p.reads;
+      Alcotest.(check int) "4 writes" 4 p.writes)
+    profiles
+
+let test_footprint_constants () =
+  Alcotest.(check int) "standard reads" 21 (P2p.reads_per_txn Standard);
+  Alcotest.(check int) "simplified reads" 12 (P2p.reads_per_txn Simplified);
+  Alcotest.(check int) "writes" 4 (P2p.writes_per_txn Standard)
+
+let test_deterministic_generation () =
+  let spec = { P2p.default_spec with seed = 123; block_size = 100 } in
+  let a = P2p.generate spec and b = P2p.generate spec in
+  Array.iteri
+    (fun i (ta : P2p.transfer) ->
+      let tb = b.transfers.(i) in
+      Alcotest.(check int) "sender" ta.sender tb.sender;
+      Alcotest.(check int) "recipient" ta.recipient tb.recipient;
+      Alcotest.(check int) "amount" ta.amount tb.amount;
+      Alcotest.(check int) "seq" ta.exp_seqno tb.exp_seqno)
+    a.transfers
+
+let test_sender_differs_from_recipient () =
+  let w = P2p.generate { P2p.default_spec with num_accounts = 2;
+                         block_size = 200 } in
+  Array.iter
+    (fun (t : P2p.transfer) ->
+      Alcotest.(check bool) "distinct" true (t.sender <> t.recipient))
+    w.transfers
+
+let test_sequence_numbers_consistent () =
+  let w = P2p.generate { P2p.default_spec with block_size = 300;
+                         num_accounts = 5 } in
+  let counts = Array.make 5 0 in
+  Array.iter
+    (fun (t : P2p.transfer) ->
+      Alcotest.(check int) "expected seqno tracks sends" counts.(t.sender)
+        t.exp_seqno;
+      counts.(t.sender) <- counts.(t.sender) + 1)
+    w.transfers
+
+let test_no_failures_sequentially () =
+  let w = P2p.generate { P2p.default_spec with block_size = 500;
+                         num_accounts = 10 } in
+  let r = Harness.run_sequential ~storage:w.storage w.txns in
+  Array.iter
+    (function
+      | Blockstm_kernel.Txn.Success _ -> ()
+      | Blockstm_kernel.Txn.Failed m -> Alcotest.failf "failed: %s" m)
+    r.outputs
+
+let test_declared_writes_are_perfect () =
+  let w = P2p.generate { P2p.default_spec with block_size = 200 } in
+  (* BOHM with these declared write-sets must record zero undeclared
+     writes and agree with sequential execution. *)
+  let b =
+    Harness.run_bohm ~num_domains:2 ~storage:w.storage
+      ~declared_writes:w.declared_writes w.txns
+  in
+  Alcotest.(check int) "no undeclared writes" 0 b.undeclared_writes;
+  let c =
+    Harness.check_bohm ~storage:w.storage ~declared_writes:w.declared_writes
+      w.txns
+  in
+  Alcotest.(check bool) "bohm = sequential" true (Harness.check_ok c)
+
+let test_balance_conservation () =
+  let spec =
+    { P2p.default_spec with block_size = 400; num_accounts = 20; seed = 9 }
+  in
+  let w = P2p.generate spec in
+  let delta = P2p.expected_balance_delta w in
+  let r = Harness.run_sequential ~storage:w.storage w.txns in
+  (* Total delta must be zero (conservation) ... *)
+  Alcotest.(check int) "conservation" 0 (Array.fold_left ( + ) 0 delta);
+  (* ... and each account's final balance = initial + delta. *)
+  List.iter
+    (fun (loc, v) ->
+      match (loc : Ledger.Loc.t) with
+      | Ledger.Loc.Account { acct; field = Ledger.Balance } ->
+          Alcotest.(check int)
+            (Printf.sprintf "balance of %d" acct)
+            (Ledger.default_initial_balance + delta.(acct))
+            (Ledger.Value.as_int v)
+      | _ -> ())
+    r.snapshot
+
+let test_genesis_contents () =
+  let s = Ledger.genesis ~num_accounts:3 () in
+  Alcotest.(check int) "cardinality"
+    ((3 * 5) + Ledger.n_globals)
+    (Ledger.Store.cardinal s);
+  (match Ledger.Store.get s (Ledger.balance 0) with
+  | Some (Ledger.Value.Int b) ->
+      Alcotest.(check int) "funded" Ledger.default_initial_balance b
+  | _ -> Alcotest.fail "missing balance");
+  match Ledger.Store.get s (Ledger.global 0) with
+  | Some (Ledger.Value.Int _) -> ()
+  | _ -> Alcotest.fail "missing global config"
+
+(* --- Synthetic workloads -------------------------------------------------- *)
+
+let run_both (g : Synthetic.generated) =
+  let c =
+    Harness.check_blockstm
+      ~config:{ Harness.Bstm.default_config with num_domains = 3 }
+      ~storage:g.storage g.txns
+  in
+  Alcotest.(check bool) "blockstm = sequential" true (Harness.check_ok c)
+
+let test_synthetic_hotspot () = run_both (Synthetic.hotspot ~block_size:80)
+
+let test_synthetic_independent () =
+  run_both (Synthetic.independent ~block_size:80)
+
+let test_synthetic_zipfian () =
+  run_both (Synthetic.zipfian ~block_size:100 ~num_accounts:20 ~theta:0.9
+              ~seed:4)
+
+let test_synthetic_read_heavy () =
+  run_both
+    (Synthetic.read_heavy ~block_size:60 ~num_accounts:30 ~reads:10
+       ~writer_every:5 ~seed:8)
+
+let test_synthetic_chain () = run_both (Synthetic.chain ~block_size:60)
+
+let test_synthetic_churn () =
+  run_both (Synthetic.churn ~block_size:80 ~num_accounts:10 ~seed:14)
+
+let test_synthetic_gas_correct () =
+  List.iter
+    (fun shards ->
+      run_both (Synthetic.gas ~block_size:100 ~shards ~seed:5))
+    [ 1; 4; 16 ]
+
+let test_gas_total_independent_of_sharding () =
+  (* Total gas burned must not depend on how the meter is sharded. *)
+  let total shards =
+    let g = Synthetic.gas ~block_size:150 ~shards ~seed:5 in
+    let r = Harness.run_sequential ~storage:g.storage g.txns in
+    List.fold_left
+      (fun acc (loc, v) ->
+        match (loc : Ledger.Loc.t) with
+        | Ledger.Loc.Account { acct; field = Ledger.Balance }
+          when acct >= 150 ->
+            (* Gas accounts live above the workload accounts; subtract the
+               genesis balance to get the burned amount. *)
+            acc + Ledger.Value.as_int v - Ledger.default_initial_balance
+        | _ -> acc)
+      0 r.snapshot
+  in
+  let t1 = total 1 in
+  Alcotest.(check bool) "non-trivial gas" true (t1 > 0);
+  Alcotest.(check int) "4 shards same total" t1 (total 4);
+  Alcotest.(check int) "16 shards same total" t1 (total 16)
+
+let test_gas_single_shard_is_sequential_dag () =
+  let g = Synthetic.gas ~block_size:40 ~shards:1 ~seed:5 in
+  let profiles =
+    Harness.Prof.run ~storage:(Ledger.Store.reader g.storage) g.txns
+  in
+  (* With one shard, every transaction depends on its predecessor through
+     the gas counter: the §7 pathology. *)
+  Array.iteri
+    (fun i (p : Harness.Prof.txn_profile) ->
+      if i > 0 then
+        Alcotest.(check bool) "depends on predecessor" true
+          (List.mem (i - 1) p.deps))
+    profiles
+
+let test_gas_sharding_restores_parallelism () =
+  let inherent shards =
+    let g = Synthetic.gas ~block_size:160 ~shards ~seed:5 in
+    let profiles =
+      Harness.Prof.run ~storage:(Ledger.Store.reader g.storage) g.txns
+    in
+    let costs = Array.map (fun (_ : Harness.Prof.txn_profile) -> 1.0)
+        profiles in
+    let deps = Array.map (fun (p : Harness.Prof.txn_profile) -> p.deps)
+        profiles in
+    let dag = Harness.Dag_sim.create ~costs ~deps in
+    160.0 /. Harness.Dag_sim.critical_path dag
+  in
+  Alcotest.(check bool) "single shard sequential" true (inherent 1 <= 1.01);
+  Alcotest.(check bool) "16 shards ~16x" true (inherent 16 > 8.0)
+
+let test_hotspot_is_sequential_dag () =
+  let g = Synthetic.hotspot ~block_size:20 in
+  let profiles =
+    Harness.Prof.run ~storage:(Ledger.Store.reader g.storage) g.txns
+  in
+  (* Every transaction (except the first) depends on its predecessor. *)
+  Array.iteri
+    (fun i (p : Harness.Prof.txn_profile) ->
+      if i > 0 then
+        Alcotest.(check (list int)) "chain dep" [ i - 1 ] p.deps)
+    profiles
+
+let test_independent_has_no_deps () =
+  let g = Synthetic.independent ~block_size:20 in
+  let profiles =
+    Harness.Prof.run ~storage:(Ledger.Store.reader g.storage) g.txns
+  in
+  Array.iter
+    (fun (p : Harness.Prof.txn_profile) ->
+      Alcotest.(check (list int)) "no deps" [] p.deps)
+    profiles
+
+(* --- RNG ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "unit interval" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_distinct_pair () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let a, b = Rng.distinct_pair rng 5 in
+    Alcotest.(check bool) "distinct" true (a <> b);
+    Alcotest.(check bool) "in range" true
+      (a >= 0 && a < 5 && b >= 0 && b < 5)
+  done
+
+let test_rng_zipf () =
+  let rng = Rng.create 11 in
+  let n = 100 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.zipf rng ~n ~theta:1.0 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < n);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Skew: rank 0 must be sampled much more often than rank 50. *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 5 * (counts.(50) + 1))
+
+let test_rng_zipf_theta0_uniformish () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    counts.(Rng.zipf rng ~n:4 ~theta:0.) <- 1 + counts.(Rng.zipf rng ~n:4 ~theta:0.)
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 500))
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "standard p2p: 21 reads / 4 writes" `Quick
+      test_standard_footprint;
+    Alcotest.test_case "simplified p2p: 12 reads / 4 writes" `Quick
+      test_simplified_footprint;
+    Alcotest.test_case "footprint constants" `Quick test_footprint_constants;
+    Alcotest.test_case "deterministic generation" `Quick
+      test_deterministic_generation;
+    Alcotest.test_case "sender <> recipient" `Quick
+      test_sender_differs_from_recipient;
+    Alcotest.test_case "sequence numbers track sends" `Quick
+      test_sequence_numbers_consistent;
+    Alcotest.test_case "no failures under sequential run" `Quick
+      test_no_failures_sequentially;
+    Alcotest.test_case "declared write-sets are perfect" `Quick
+      test_declared_writes_are_perfect;
+    Alcotest.test_case "balance conservation" `Quick test_balance_conservation;
+    Alcotest.test_case "genesis contents" `Quick test_genesis_contents;
+    Alcotest.test_case "synthetic: hotspot" `Quick test_synthetic_hotspot;
+    Alcotest.test_case "synthetic: independent" `Quick
+      test_synthetic_independent;
+    Alcotest.test_case "synthetic: zipfian" `Quick test_synthetic_zipfian;
+    Alcotest.test_case "synthetic: read-heavy" `Quick test_synthetic_read_heavy;
+    Alcotest.test_case "synthetic: chain" `Quick test_synthetic_chain;
+    Alcotest.test_case "synthetic: churn" `Quick test_synthetic_churn;
+    Alcotest.test_case "synthetic: gas meter (1/4/16 shards)" `Quick
+      test_synthetic_gas_correct;
+    Alcotest.test_case "gas total independent of sharding" `Quick
+      test_gas_total_independent_of_sharding;
+    Alcotest.test_case "single gas shard is the §7 pathology" `Quick
+      test_gas_single_shard_is_sequential_dag;
+    Alcotest.test_case "gas sharding restores parallelism" `Quick
+      test_gas_sharding_restores_parallelism;
+    Alcotest.test_case "hotspot profiles to a chain DAG" `Quick
+      test_hotspot_is_sequential_dag;
+    Alcotest.test_case "independent profiles to empty DAG" `Quick
+      test_independent_has_no_deps;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: distinct pairs" `Quick test_rng_distinct_pair;
+    Alcotest.test_case "rng: zipf skew" `Quick test_rng_zipf;
+    Alcotest.test_case "rng: zipf theta=0 uniform" `Quick
+      test_rng_zipf_theta0_uniformish;
+  ]
