@@ -33,10 +33,14 @@ let fmt_tps v =
 
 let fmt_x v = Printf.sprintf "%.1fx" v
 
-(* Average a measurement over seeds. *)
-let avg_over_seeds mode f =
+(* Average a measurement over seeds; [label] additionally records each
+   per-seed sample in the JSON report (p50/p99 come from these). *)
+let avg_over_seeds ?label mode f =
   let n = reps mode in
   let xs = Array.init n (fun i -> f (42 + (1000 * i))) in
+  (match label with
+  | Some label -> Array.iter (fun v -> Report.sample ~label v) xs
+  | None -> ());
   D.mean xs
 
 let p2p_spec ~flavor ~accounts ~block ~seed =
@@ -58,8 +62,15 @@ let seq_tps ~flavor =
   in
   1e6 /. c
 
+let sample_label ~algo ~flavor ~accounts ~block ~threads =
+  Printf.sprintf "%s/%s/accounts=%d/block=%d/threads=%d" algo
+    (P2p.flavor_name flavor) accounts block threads
+
 let bstm_tps ?config ~flavor ~accounts ~block ~threads mode =
-  avg_over_seeds mode (fun seed ->
+  avg_over_seeds
+    ~label:(sample_label ~algo:"bstm_tps" ~flavor ~accounts ~block ~threads)
+    mode
+    (fun seed ->
       let w = P2p.generate (p2p_spec ~flavor ~accounts ~block ~seed) in
       let _, stats =
         Harness.sim_blockstm ?config ~num_threads:threads ~storage:w.storage
@@ -68,7 +79,10 @@ let bstm_tps ?config ~flavor ~accounts ~block ~threads mode =
       VE.tps ~txns:block stats)
 
 let bohm_tps ~flavor ~accounts ~block ~threads mode =
-  avg_over_seeds mode (fun seed ->
+  avg_over_seeds
+    ~label:(sample_label ~algo:"bohm_tps" ~flavor ~accounts ~block ~threads)
+    mode
+    (fun seed ->
       let w = P2p.generate (p2p_spec ~flavor ~accounts ~block ~seed) in
       let us =
         Harness.sim_bohm_makespan ~num_threads:threads ~storage:w.storage
@@ -77,7 +91,10 @@ let bohm_tps ~flavor ~accounts ~block ~threads mode =
       Harness.tps_of_makespan ~txns:block us)
 
 let litm_tps ~flavor ~accounts ~block ~threads mode =
-  avg_over_seeds mode (fun seed ->
+  avg_over_seeds
+    ~label:(sample_label ~algo:"litm_tps" ~flavor ~accounts ~block ~threads)
+    mode
+    (fun seed ->
       let w = P2p.generate (p2p_spec ~flavor ~accounts ~block ~seed) in
       let us, _ =
         Harness.sim_litm_makespan ~num_threads:threads ~storage:w.storage
@@ -121,7 +138,7 @@ let fig_comparison ~flavor ~fig mode =
                 ])
             (threads_grid mode))
         [ 1_000; 10_000 ];
-      T.print t)
+      Report.emit_table t)
     (blocks_grid mode)
 
 let fig3 mode = fig_comparison ~flavor:P2p.Standard ~fig:3 mode
@@ -161,7 +178,7 @@ let fig5 mode =
                     ])
                 (threads_grid mode))
             [ 2; 10; 100 ];
-          T.print t)
+          Report.emit_table t)
         (blocks_grid mode))
     [ P2p.Standard; P2p.Simplified ]
 
@@ -198,7 +215,7 @@ let fig6 mode =
                 ])
             [ 16; 32 ])
         batches;
-      T.print t)
+      Report.emit_table t)
     [ P2p.Standard; P2p.Simplified ]
 
 (* --- Sequential-overhead table (§4.1 "at most 30% overhead") --------------- *)
@@ -226,7 +243,7 @@ let seq_overhead mode =
           Printf.sprintf "%.0f%%" (((seq /. bstm) -. 1.) *. 100.);
         ])
     (threads_grid mode);
-  T.print t
+  Report.emit_table t
 
 (* --- Abort-rate analysis (§4.1 discussion) --------------------------------- *)
 
@@ -268,7 +285,7 @@ let aborts mode =
     (match mode with
     | Quick -> [ 10; 100; 1_000; 10_000 ]
     | Full -> [ 2; 10; 100; 1_000; 10_000 ]);
-  T.print t
+  Report.emit_table t
 
 (* --- Ablations -------------------------------------------------------------- *)
 
@@ -319,7 +336,7 @@ let ablations _mode =
     (ablation_row ~label:"suspend-resume (effect handlers, §7)"
        ~config:{ base with suspend_resume = true }
        ~threads w block);
-  T.print t
+  Report.emit_table t
 
 (* --- Gas sharding (§7): a single gas location makes any block sequential -- *)
 
@@ -353,7 +370,7 @@ let gas_sharding _mode =
             ])
         [ 8; 32 ])
     [ 1; 2; 4; 8; 16; 32 ];
-  T.print t
+  Report.emit_table t
 
 (* --- Real-machine measurements (wall clock, actual domains) ---------------- *)
 
@@ -396,7 +413,7 @@ let real mode =
       T.add_row t
         [ "Block-STM"; string_of_int domains; fmt_tps tps ])
     [ 1; 2; 4 ];
-  T.print t
+  Report.emit_table t
 
 (* --- MiniMove end-to-end throughput ---------------------------------------- *)
 
@@ -449,7 +466,7 @@ let minimove mode =
       in
       T.add_row t [ "Block-STM"; string_of_int domains; fmt_tps tps ])
     [ 1; 4 ];
-  T.print t
+  Report.emit_table t
 
 (* --- Registry ---------------------------------------------------------------- *)
 

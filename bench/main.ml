@@ -5,12 +5,26 @@
      dune exec bench/main.exe -- fig3 fig5    # selected experiments
      dune exec bench/main.exe -- --full       # the paper's full grid
      dune exec bench/main.exe -- micro        # bechamel micro-benches only
+     dune exec bench/main.exe -- --json BENCH_blockstm.json
+                                              # also write a JSON report
 
    See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
    paper-vs-measured results. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_path = ref None in
+  let rec strip_json = function
+    | [] -> []
+    | [ "--json" ] ->
+        prerr_endline "--json needs a path argument";
+        exit 2
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        strip_json rest
+    | a :: rest -> a :: strip_json rest
+  in
+  let args = strip_json args in
   let mode =
     if List.mem "--full" args || Sys.getenv_opt "BLOCKSTM_BENCH_FULL" <> None
     then Blockstm_bench.Experiments.Full
@@ -30,15 +44,21 @@ let () =
     exit 2
   end;
   let want name = selected = [] || List.mem name selected in
+  let mode_name =
+    match mode with Blockstm_bench.Experiments.Quick -> "quick" | Full -> "full"
+  in
+  Blockstm_bench.Report.set_mode mode_name;
   Fmt.pr
     "Block-STM benchmark harness (%s grid). Thread-scaling numbers use the \
      virtual-time executor; see DESIGN.md.@."
-    (match mode with Blockstm_bench.Experiments.Quick -> "quick" | Full -> "full");
+    mode_name;
   List.iter
     (fun (name, descr, f) ->
       if want name then begin
         Fmt.pr "@.### %s — %s@." name descr;
+        Blockstm_bench.Report.begin_experiment ~name ~descr;
         f mode
       end)
     Blockstm_bench.Experiments.all;
-  if want "micro" then Blockstm_bench.Micro.run ()
+  if want "micro" then Blockstm_bench.Micro.run ();
+  Option.iter Blockstm_bench.Report.write !json_path

@@ -166,8 +166,18 @@ let run_cmd =
       & info [ "verify" ]
           ~doc:"Also run the sequential executor and compare results.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON timeline of the execution \
+             (blockstm executor only) — load it in chrome://tracing or \
+             https://ui.perfetto.dev.")
+  in
   let action workload accounts block seed theta executor domains suspend
-      no_estimates verify =
+      no_estimates verify trace_out =
     let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let time f =
@@ -189,11 +199,25 @@ let run_cmd =
               use_estimates = not no_estimates;
             }
           in
+          let trace =
+            Option.map
+              (fun _ ->
+                Blockstm_obs.Trace.create ~num_workers:domains ())
+              trace_out
+          in
           let r, tps =
-            time (fun () -> Harness.run_blockstm ~config ~storage:g.storage
-                     g.txns)
+            time (fun () ->
+                Harness.run_blockstm ~config ?trace ~storage:g.storage
+                  g.txns)
           in
           Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics r.metrics;
+          (match (trace, trace_out) with
+          | Some tr, Some path ->
+              Blockstm_obs.Trace_export.write_file tr path;
+              Fmt.pr "trace: wrote %s (%d events, %d dropped)@." path
+                (List.length (Blockstm_obs.Trace.events tr))
+                (Blockstm_obs.Trace.dropped tr)
+          | _ -> ());
           (r.snapshot, tps)
       | E_bohm -> (
           match declared with
@@ -230,7 +254,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
-      $ theta_arg $ executor $ domains $ suspend $ no_estimates $ verify)
+      $ theta_arg $ executor $ domains $ suspend $ no_estimates $ verify
+      $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -303,22 +328,32 @@ let exp_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
   in
-  let action ids full =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the experiment tables as a JSON report.")
+  in
+  let action ids full json =
     let mode =
       if full then Blockstm_bench.Experiments.Full
       else Blockstm_bench.Experiments.Quick
     in
+    Blockstm_bench.Report.set_mode (if full then "full" else "quick");
     let want name = ids = [] || List.mem name ids in
     List.iter
       (fun (name, descr, f) ->
         if want name then begin
           Fmt.pr "@.### %s — %s@." name descr;
+          Blockstm_bench.Report.begin_experiment ~name ~descr;
           f mode
         end)
       Blockstm_bench.Experiments.all;
-    if want "micro" && ids <> [] then Blockstm_bench.Micro.run ()
+    if want "micro" && ids <> [] then Blockstm_bench.Micro.run ();
+    Option.iter Blockstm_bench.Report.write json
   in
-  let term = Term.(const action $ ids $ full) in
+  let term = Term.(const action $ ids $ full $ json) in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's figures and tables")
     term

@@ -14,6 +14,8 @@
 
 open Blockstm_kernel
 module Scheduler = Blockstm_scheduler.Scheduler
+module Metrics = Blockstm_obs.Metrics
+module Trace = Blockstm_obs.Trace
 
 module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   module Mv = Blockstm_mvmemory.Mvmemory.Make (L) (V)
@@ -118,13 +120,23 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            and consumed (exchanged) by the executor of incarnation i+1;
            incarnations of one transaction never overlap (Corollary 1), but
            we use an Atomic for the cross-domain happens-before edge. *)
-    m_incarnations : int Atomic.t;
-    m_dep_aborts : int Atomic.t;
-    m_validations : int Atomic.t;
-    m_val_aborts : int Atomic.t;
-    m_preval_skips : int Atomic.t;
-    m_resumptions : int Atomic.t;
-    m_discarded : int Atomic.t;
+    obs : Metrics.t;
+        (* Engine counters live in per-domain padded cells — no cross-domain
+           contention on the hot path (previously: shared atomics). *)
+    c_incarnations : Metrics.counter;
+    c_dep_aborts : Metrics.counter;
+    c_validations : Metrics.counter;
+    c_val_aborts : Metrics.counter;
+    c_preval_skips : Metrics.counter;
+    c_resumptions : Metrics.counter;
+    c_discarded : Metrics.counter;
+    c_vm_reads : Metrics.counter;
+    c_vm_writes : Metrics.counter;
+    h_exec_ns : Metrics.histogram;
+        (* Step-duration histograms, observed only when tracing is on (the
+           untraced loop takes no timestamps). *)
+    h_val_ns : Metrics.histogram;
+    trace : Trace.t option;
   }
 
   and 'o suspension_slot = 'o suspension option Atomic.t
@@ -155,11 +167,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     vm_writes : int;  (** Distinct locations written (cost accounting). *)
   }
 
-  let create_instance ?(config = default_config) ?declared_writes ~storage
-      (txns : 'o txn array) : 'o instance =
+  let create_instance ?(config = default_config) ?declared_writes ?trace
+      ~storage (txns : 'o txn array) : 'o instance =
     let n = Array.length txns in
     if config.num_domains < 1 then
       invalid_arg "Block_stm: num_domains must be >= 1";
+    (match trace with
+    | Some tr when Trace.num_workers tr < config.num_domains ->
+        invalid_arg "Block_stm: trace has fewer workers than num_domains"
+    | _ -> ());
     let mv = Mv.create ~block_size:n () in
     (if config.prefill_estimates then
        match declared_writes with
@@ -169,6 +185,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            if Array.length dw <> n then
              invalid_arg "Block_stm: declared_writes length mismatch";
            Array.iteri (fun j locs -> Mv.prefill_estimates mv j locs) dw);
+    let obs = Metrics.create ~max_domains:(config.num_domains + 1) () in
     {
       txns;
       storage;
@@ -177,13 +194,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       cfg = config;
       outputs = Array.make n None;
       suspensions = Array.init n (fun _ -> Atomic.make None);
-      m_incarnations = Atomic.make 0;
-      m_dep_aborts = Atomic.make 0;
-      m_validations = Atomic.make 0;
-      m_val_aborts = Atomic.make 0;
-      m_preval_skips = Atomic.make 0;
-      m_resumptions = Atomic.make 0;
-      m_discarded = Atomic.make 0;
+      obs;
+      c_incarnations = Metrics.counter obs "incarnations";
+      c_dep_aborts = Metrics.counter obs "dependency_aborts";
+      c_validations = Metrics.counter obs "validations";
+      c_val_aborts = Metrics.counter obs "validation_aborts";
+      c_preval_skips = Metrics.counter obs "prevalidation_skips";
+      c_resumptions = Metrics.counter obs "resumptions";
+      c_discarded = Metrics.counter obs "discarded_suspensions";
+      c_vm_reads = Metrics.counter obs "vm_reads";
+      c_vm_writes = Metrics.counter obs "vm_writes";
+      h_exec_ns = Metrics.histogram obs "exec_step_ns";
+      h_val_ns = Metrics.histogram obs "validation_step_ns";
+      trace;
     }
 
   (* ---------------------------------------------------------------------- *)
@@ -370,11 +393,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         let outcome, prefix_paid =
           match stashed with
           | Some s when prefix_valid inst ~txn_idx s.s_prefix ->
-              Atomic_util.incr inst.m_resumptions;
+              Metrics.incr inst.c_resumptions;
               ( Effect.Deep.continue s.s_resume (),
                 List.length s.s_prefix )
           | Some s ->
-              Atomic_util.incr inst.m_discarded;
+              Metrics.incr inst.c_discarded;
               (* Unwind the abandoned fiber; its outcome (a Failed result
                  produced by the handler's exnc) is irrelevant. *)
               (try
@@ -387,7 +410,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 if inst.cfg.prevalidate_reads && incarnation > 0 then (
                   match find_read_set_dependency inst ~txn_idx with
                   | Some b ->
-                      Atomic_util.incr inst.m_preval_skips;
+                      Metrics.incr inst.c_preval_skips;
                       Some b
                   | None -> None)
                 else None
@@ -405,7 +428,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
     | Scheduler.Validation version ->
         let txn_idx = Version.txn_idx version in
-        Atomic_util.incr inst.m_validations;
+        Metrics.incr inst.c_validations;
         let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
         let valid = Mv.validate_read_set inst.mv txn_idx in
         P_val { version; valid; reads }
@@ -416,7 +439,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | P_exec { version; vm; prefix_paid = _ } ->
         let txn_idx = Version.txn_idx version in
         let incarnation = Version.incarnation version in
-        Atomic_util.incr inst.m_incarnations;
+        Metrics.incr inst.c_incarnations;
+        Metrics.add inst.c_vm_reads vm.vm_reads;
+        Metrics.add inst.c_vm_writes vm.vm_writes;
         inst.outputs.(txn_idx) <- Some vm.vm_output;
         let wrote_new_location =
           Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
@@ -427,7 +452,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         in
         (next, Executed { version; reads = vm.vm_reads; writes = vm.vm_writes })
     | P_exec_dep { version; blocking; reads; suspension } ->
-        Atomic_util.incr inst.m_dep_aborts;
+        Metrics.incr inst.c_dep_aborts;
         let txn_idx = Version.txn_idx version in
         (* Stash the continuation (if any) before publishing the dependency,
            so whichever thread executes the next incarnation finds it. *)
@@ -449,7 +474,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           (not valid) && Scheduler.try_validation_abort inst.sched version
         in
         if aborted then (
-          Atomic_util.incr inst.m_val_aborts;
+          Metrics.incr inst.c_val_aborts;
           if inst.cfg.use_estimates then
             Mv.convert_writes_to_estimates inst.mv txn_idx
           else Mv.remove_written_entries inst.mv txn_idx);
@@ -469,23 +494,47 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Some t -> (Some t, Got_task)
         | None -> (None, No_task))
 
-  let worker_loop (inst : _ instance) : unit =
-    let task = ref None in
-    while not (Scheduler.done_ inst.sched) do
-      let task', _ev = step inst !task in
-      task := task'
-    done
+  let worker_loop ?(worker = 0) (inst : _ instance) : unit =
+    match inst.trace with
+    | None ->
+        (* Untraced hot loop: no timestamps, no event plumbing. *)
+        let task = ref None in
+        while not (Scheduler.done_ inst.sched) do
+          let task', _ev = step inst !task in
+          task := task'
+        done
+    | Some tr ->
+        let ring = Trace.ring tr ~worker in
+        let task = ref None in
+        while not (Scheduler.done_ inst.sched) do
+          let carried = !task in
+          let t0 = Trace.now_ns () in
+          let task', ev = step inst carried in
+          let t1 = Trace.now_ns () in
+          (match carried with
+          | Some (Scheduler.Execution _) ->
+              Metrics.observe inst.h_exec_ns (t1 - t0)
+          | Some (Scheduler.Validation _) ->
+              Metrics.observe inst.h_val_ns (t1 - t0)
+          | None -> ());
+          Trace.record tr ring ~t0_ns:t0 ~t1_ns:t1 ev;
+          task := task'
+        done
 
   let metrics_of (inst : _ instance) : metrics =
     {
-      incarnations = Atomic.get inst.m_incarnations;
-      dependency_aborts = Atomic.get inst.m_dep_aborts;
-      validations = Atomic.get inst.m_validations;
-      validation_aborts = Atomic.get inst.m_val_aborts;
-      prevalidation_skips = Atomic.get inst.m_preval_skips;
-      resumptions = Atomic.get inst.m_resumptions;
-      discarded_suspensions = Atomic.get inst.m_discarded;
+      incarnations = Metrics.value inst.c_incarnations;
+      dependency_aborts = Metrics.value inst.c_dep_aborts;
+      validations = Metrics.value inst.c_validations;
+      validation_aborts = Metrics.value inst.c_val_aborts;
+      prevalidation_skips = Metrics.value inst.c_preval_skips;
+      resumptions = Metrics.value inst.c_resumptions;
+      discarded_suspensions = Metrics.value inst.c_discarded;
     }
+
+  let sched (inst : _ instance) : Scheduler.t = inst.sched
+
+  let metrics_registry (inst : _ instance) : Metrics.t = inst.obs
 
   let finalize (inst : 'o instance) : 'o result =
     {
@@ -503,17 +552,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (** Execute a block. [storage] is the pre-block state; [txns] the block in
       its preset serialization order. Spawns [config.num_domains - 1] extra
       domains and participates with the calling domain. *)
-  let run ?(config = default_config) ?declared_writes ~storage
+  let run ?(config = default_config) ?declared_writes ?trace ~storage
       (txns : 'o txn array) : 'o result =
-    let inst = create_instance ~config ?declared_writes ~storage txns in
+    let inst = create_instance ~config ?declared_writes ?trace ~storage txns in
     if Array.length txns = 0 then
       { snapshot = []; outputs = [||]; metrics = metrics_of inst }
     else begin
       let others =
-        Array.init (config.num_domains - 1) (fun _ ->
-            Domain.spawn (fun () -> worker_loop inst))
+        Array.init (config.num_domains - 1) (fun i ->
+            Domain.spawn (fun () -> worker_loop ~worker:(i + 1) inst))
       in
-      worker_loop inst;
+      worker_loop ~worker:0 inst;
       Array.iter Domain.join others;
       finalize inst
     end

@@ -1,0 +1,171 @@
+(** Block-STM: the parallel execution engine (Algorithms 1 and 4 of the
+    paper, on top of {!Blockstm_mvmemory.Mvmemory} and
+    {!Blockstm_scheduler.Scheduler}).
+
+    Given a block of transactions [tx_0 < tx_1 < ... < tx_{n-1}] and a
+    read-only storage snapshot, {!Make.run} executes the block on
+    [num_domains] domains and returns the final write snapshot plus
+    per-transaction outputs — guaranteed identical to executing the block
+    sequentially in the preset order.
+
+    Transactions are closures over an {!type:Make.effects} handle; the VM
+    wrapper intercepts every read and write, accumulating the incarnation's
+    read- and write-sets exactly as Algorithm 4 prescribes. *)
+
+open Blockstm_kernel
+
+module Scheduler = Blockstm_scheduler.Scheduler
+module Metrics = Blockstm_obs.Metrics
+module Trace = Blockstm_obs.Trace
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
+  (** Raised internally when a speculative read hits an [ESTIMATE] marker:
+      the executing transaction depends on [blocking_txn_idx]. *)
+  exception Dependency of int
+
+  (** The handle a transaction uses to access state (see {!Txn.effects}). *)
+  type effects = (L.t, V.t) Txn.effects
+
+  (** A transaction: deterministic code over an effects handle, producing an
+      output of type ['o] (events, return value, gas used, ...). *)
+  type 'o txn = (L.t, V.t, 'o) Txn.t
+
+  (** Outcome of the final incarnation of a transaction. *)
+  type 'o txn_output = 'o Txn.output = Success of 'o | Failed of string
+
+  val pp_txn_output : 'o Fmt.t -> Format.formatter -> 'o txn_output -> unit
+
+  (** Execution statistics, aggregated across all domains. Snapshot of the
+      engine's metrics registry (see {!metrics_registry} for the live,
+      extensible view including VM read/write totals and step-duration
+      histograms). *)
+  type metrics = {
+    incarnations : int;  (** VM executions that ran to completion. *)
+    dependency_aborts : int;  (** Executions stopped by an ESTIMATE read. *)
+    validations : int;  (** Validation tasks performed. *)
+    validation_aborts : int;  (** Validations that failed and won the abort. *)
+    prevalidation_skips : int;
+        (** Re-executions short-circuited by the read-set pre-check (§4). *)
+    resumptions : int;
+        (** Incarnations that resumed a suspended predecessor mid-transaction
+            (suspend_resume mode). *)
+    discarded_suspensions : int;
+        (** Suspensions whose read prefix no longer validated and were
+            discarded (suspend_resume mode). *)
+  }
+
+  val pp_metrics : Format.formatter -> metrics -> unit
+
+  type config = {
+    num_domains : int;  (** Worker domains (>= 1). *)
+    use_estimates : bool;
+        (** Paper default [true]: aborted writes become ESTIMATE markers and
+            readers wait for the dependency. [false] is the ablation the
+            paper mentions in §3.2.1 — aborted entries are simply removed, so
+            conflicts surface only at validation time. *)
+    prevalidate_reads : bool;
+        (** §4 optimization: before re-executing an incarnation, re-read the
+            previous read-set and park on any ESTIMATE found. *)
+    prefill_estimates : bool;
+        (** §7 future-work feature: seed MVMemory with ESTIMATE markers from
+            declared write-sets so even first incarnations wait on likely
+            conflicts. Requires [declared_writes]. *)
+    suspend_resume : bool;
+        (** §7 future-work feature: when a read hits an ESTIMATE, capture the
+            transaction's continuation with an OCaml effect handler instead
+            of discarding the work; the next incarnation re-validates the
+            read prefix and resumes mid-transaction on success. *)
+  }
+
+  val default_config : config
+  (** One domain, estimates and read-set prevalidation on, prefill and
+      suspend/resume off. *)
+
+  type 'o result = {
+    snapshot : (L.t * V.t) list;  (** Final value per affected location. *)
+    outputs : 'o txn_output array;  (** Per-transaction outputs, in order. *)
+    metrics : metrics;
+  }
+
+  type 'o instance
+  (** Shared state of one in-flight block execution. Create with
+      {!create_instance}, drive with {!worker_loop} (or the two-phase
+      {!start_task}/{!finish_task} API), then read out with {!finalize}. *)
+
+  val create_instance :
+    ?config:config ->
+    ?declared_writes:L.t array array ->
+    ?trace:Trace.t ->
+    storage:(L.t, V.t) Intf.storage ->
+    'o txn array ->
+    'o instance
+  (** [declared_writes] is required by [config.prefill_estimates] (one
+      location array per transaction). [trace] enables step-event tracing:
+      every worker records into its own ring (the trace must have at least
+      [config.num_domains] workers).
+      @raise Invalid_argument on bad [config] / [declared_writes] / [trace]
+      combinations. *)
+
+  val sched : 'o instance -> Scheduler.t
+  (** The collaborative scheduler driving this instance — exposed for the
+      virtual-time simulator and tests. *)
+
+  val metrics_registry : 'o instance -> Metrics.t
+  (** The live metrics registry: counters ["incarnations"],
+      ["dependency_aborts"], ["validations"], ["validation_aborts"],
+      ["prevalidation_skips"], ["resumptions"], ["discarded_suspensions"],
+      ["vm_reads"], ["vm_writes"]; histograms ["exec_step_ns"] and
+      ["validation_step_ns"] (populated only when tracing is enabled). *)
+
+  (** What a single engine step did — consumed by the virtual-time simulator
+      for cost accounting, and by tests. *)
+  type step_event = Step_event.t =
+    | Executed of { version : Version.t; reads : int; writes : int }
+    | Exec_dependency of { version : Version.t; blocking : int; reads : int }
+    | Validated of { version : Version.t; aborted : bool; reads : int }
+    | Got_task
+    | No_task
+
+  type 'o pending
+  (** Work whose observable reads have happened but whose effects are not
+      yet applied. The two-phase split exists for the virtual-time
+      simulator: {!start_task} performs everything a real thread does at the
+      start of a task, {!finish_task} applies the end-of-task mutations. The
+      real domain-based executor calls them back to back. *)
+
+  val pending_profile :
+    'o pending -> [ `Exec of int * int | `Dep of int | `Val of int ]
+  (** Planned work profile of a pending task, for cost models:
+      [`Exec (reads, writes)], [`Dep reads_before_abort], or [`Val reads]. *)
+
+  val start_task : 'o instance -> Scheduler.task -> 'o pending
+  val finish_task : 'o instance -> 'o pending -> Scheduler.task option * step_event
+
+  val step :
+    'o instance -> Scheduler.task option -> Scheduler.task option * step_event
+  (** One step of the Algorithm 1 loop body: run the carried task (start and
+      finish back to back), or fetch a new one. Thread-safe: any number of
+      domains may call it concurrently. *)
+
+  val worker_loop : ?worker:int -> 'o instance -> unit
+  (** Run {!step} until the scheduler reports done. [worker] (default 0) is
+      the trace ring index; pass distinct values from distinct domains when
+      the instance was created with [?trace]. *)
+
+  val metrics_of : 'o instance -> metrics
+
+  val finalize : 'o instance -> 'o result
+  (** Read out the result. Call only after all workers have finished.
+      @raise Failure if some transaction never produced an output. *)
+
+  val run :
+    ?config:config ->
+    ?declared_writes:L.t array array ->
+    ?trace:Trace.t ->
+    storage:(L.t, V.t) Intf.storage ->
+    'o txn array ->
+    'o result
+  (** Execute a block. [storage] is the pre-block state; the array is the
+      block in its preset serialization order. Spawns [config.num_domains - 1]
+      extra domains and participates with the calling domain. *)
+end

@@ -1,0 +1,94 @@
+(** Multi-version shared memory (the paper's MVMemory, Algorithms 2–3).
+
+    For each memory location, the structure stores the latest value written
+    per transaction index together with the incarnation that wrote it, or an
+    [ESTIMATE] marker left behind by an aborted incarnation. A read by
+    transaction [j] returns the entry written by the highest transaction
+    [i < j] (speculative best guess under the preset serialization order);
+    hitting an [ESTIMATE] signals a dependency on the blocking transaction.
+
+    Concurrency: as in the paper's implementation (Section 4), the data is a
+    hash structure over locations with lock-protected per-location version
+    maps keyed by transaction index. Per-transaction bookkeeping (last
+    written locations, last read-set) uses RCU-style atomic swaps of
+    immutable arrays. All operations are thread-safe. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
+  type t
+
+  type read_result =
+    | Ok of Version.t * V.t
+        (** Value written by the highest lower transaction, with its version. *)
+    | Not_found  (** No lower transaction wrote here: read from storage. *)
+    | Read_error of { blocking_txn_idx : int }
+        (** Hit an [ESTIMATE]: dependency on [blocking_txn_idx]. *)
+
+  type read_set = (L.t * Read_origin.t) array
+  (** One read descriptor per (dynamic) read performed by an incarnation. *)
+
+  type write_set = (L.t * V.t) array
+
+  val create : ?nshards:int -> block_size:int -> unit -> t
+  (** [nshards] (default 64) is the number of independently locked hash
+      shards. @raise Invalid_argument on negative [block_size] or
+      non-positive [nshards]. *)
+
+  val block_size : t -> int
+
+  val read : t -> L.t -> txn_idx:int -> read_result
+  (** Algorithm 3, [read]: the entry written by the highest transaction
+      index below [txn_idx]. *)
+
+  val apply_write_set :
+    t -> txn_idx:int -> incarnation:int -> write_set -> unit
+  (** Algorithm 2, [apply_write_set]: publish an incarnation's writes. Most
+      callers want {!record}, which also maintains the bookkeeping. *)
+
+  val record : t -> Version.t -> read_set -> write_set -> bool
+  (** Algorithm 2, [record]: publish the incarnation's writes, drop entries
+      the previous incarnation wrote but this one did not, and store the
+      read-set for later validation. Returns [wrote_new_location]: whether a
+      location was written that the previous incarnation did not write. *)
+
+  val convert_writes_to_estimates : t -> int -> unit
+  (** Algorithm 2, called on abort: the aborted incarnation's entries become
+      [ESTIMATE] markers so readers wait for the dependency. *)
+
+  val remove_written_entries : t -> int -> unit
+  (** Ablation variant of abort handling (§3.2.1: "removing the entries can
+      also accomplish this"): drop the aborted incarnation's entries so no
+      dependency information survives. *)
+
+  val prefill_estimates : t -> int -> L.t array -> unit
+  (** Seed [ESTIMATE] markers from a declared (estimated) write-set before
+      the first incarnation runs (§7 future-work: write-set
+      pre-estimation). *)
+
+  val validate_read_set : t -> int -> bool
+  (** Algorithm 3, [validate_read_set]: re-read every location in the last
+      recorded read-set and compare descriptors. *)
+
+  val last_read_set : t -> int -> read_set
+  (** Last recorded read-set of a transaction (RCU load). Used by the §4
+      re-execution optimization: check prior reads for ESTIMATEs before
+      paying for a full VM re-execution. *)
+
+  val written_locations : t -> int -> L.t array
+  (** Locations written by the last finished incarnation of a transaction. *)
+
+  val snapshot : t -> (L.t * V.t) list
+  (** Algorithm 3, [snapshot]: final value for every affected location, in
+      deterministic (sorted) order. Only call after the block commits (all
+      estimates resolved). *)
+
+  val snapshot_parallel : ?num_domains:int -> t -> (L.t * V.t) list
+  (** Parallel {!snapshot} (the paper computes block outputs "parallelized,
+      per affected memory locations", §4.1): partitions the affected
+      locations across [num_domains] (default 2) domains. Falls back to the
+      sequential path for small snapshots. *)
+
+  val entry_count : t -> int
+  (** Diagnostic: number of version entries currently stored. *)
+end

@@ -1,0 +1,260 @@
+(** Minimal JSON tree, printer and parser.
+
+    The container has no JSON library, and the observability layer needs one
+    in two places: machine-readable bench output ([BENCH_blockstm.json]) and
+    Chrome [trace_event] files. This module implements exactly the subset
+    those need — the full JSON value grammar, compact printing with correct
+    string escaping, and a strict recursive-descent parser (used by the
+    golden-file tests to check that what we emit round-trips). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Printing ------------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no Infinity/NaN literals; map them to null rather than emitting
+   an unparseable file. Integral floats print without a fractional part so
+   counters look like the integers they are. *)
+let add_num b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.12g" f)
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f -> add_num b f
+  | Str s -> escape_string b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          add b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          add b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string (v : t) : string =
+  let b = Buffer.create 4096 in
+  add b v;
+  Buffer.contents b
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let write_file (path : string) (v : t) : unit =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string v);
+      Out_channel.output_char oc '\n')
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some k when k = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word (v : t) =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then (
+    c.pos <- c.pos + n;
+    v)
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.src then fail c "unterminated string"
+    else
+      match c.src.[c.pos] with
+      | '"' -> c.pos <- c.pos + 1
+      | '\\' ->
+          c.pos <- c.pos + 1;
+          (if c.pos >= String.length c.src then fail c "unterminated escape"
+           else
+             match c.src.[c.pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'u' ->
+                 if c.pos + 4 >= String.length c.src then
+                   fail c "truncated \\u escape";
+                 let hex = String.sub c.src (c.pos + 1) 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> fail c "bad \\u escape"
+                 in
+                 (* Encode the code point as UTF-8 (surrogate pairs are not
+                    combined — we never emit them). *)
+                 if code < 0x80 then Buffer.add_char b (Char.chr code)
+                 else if code < 0x800 then (
+                   Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+                 else (
+                   Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char b
+                     (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))));
+                 c.pos <- c.pos + 4
+             | k -> fail c (Printf.sprintf "bad escape \\%C" k));
+          c.pos <- c.pos + 1;
+          go ()
+      | k ->
+          Buffer.add_char b k;
+          c.pos <- c.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.src && is_num_char c.src.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> fail c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then (
+        c.pos <- c.pos + 1;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then (
+        c.pos <- c.pos + 1;
+        List [])
+      else
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements []
+  | Some '"' -> Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then fail c "trailing garbage";
+    v
+  with
+  | v -> Result.Ok v
+  | exception Parse_error msg -> Result.Error msg
+
+let parse_exn (s : string) : t =
+  match parse s with
+  | Result.Ok v -> v
+  | Result.Error msg -> raise (Parse_error msg)
+
+(* --- Accessors (for tests and report tooling) ----------------------------- *)
+
+let member (key : string) = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None

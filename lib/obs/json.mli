@@ -1,0 +1,40 @@
+(** Minimal JSON tree, printer and parser — the subset the observability
+    layer needs for [BENCH_blockstm.json] and Chrome [trace_event] files.
+    No external JSON dependency is available in the build environment. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Strings are escaped per RFC 8259;
+    non-finite numbers print as [null]; integral floats print without a
+    fractional part. *)
+
+val pp : Format.formatter -> t -> unit
+
+val write_file : string -> t -> unit
+(** Write the compact rendering plus a trailing newline to [path]. *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Strict parser: the whole input must be one JSON value (surrounding
+    whitespace allowed). Numbers become [Num]; [\u] escapes are decoded to
+    UTF-8 (surrogate pairs are not combined). *)
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {2 Accessors} — shallow, [None] on type mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

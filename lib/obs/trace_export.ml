@@ -1,0 +1,93 @@
+(** Render a {!Trace.t} as Chrome [trace_event] JSON.
+
+    The output is the JSON-array form of the trace-event format — loadable
+    in [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}. Each
+    worker domain becomes one track ([tid]); every engine step is a complete
+    duration event ([ph = "X"]) whose [args] carry the transaction index,
+    incarnation, and abort cause, so conflict cascades are visible as
+    colored spans along the block's timeline. *)
+
+open Blockstm_kernel
+
+let ns_to_us ns = float_of_int ns /. 1e3
+
+let name_of (p : Trace.payload) : string * string =
+  (* (event name, category) — the category drives Perfetto's coloring. *)
+  match p with
+  | Trace.Exec { version; _ } ->
+      (Printf.sprintf "exec %s" (Version.to_string version), "exec")
+  | Trace.Exec_blocked { version; blocking; _ } ->
+      ( Printf.sprintf "blocked %s on tx%d" (Version.to_string version)
+          blocking,
+        "dependency-abort" )
+  | Trace.Validation { version; aborted; _ } ->
+      if aborted then
+        (Printf.sprintf "abort %s" (Version.to_string version),
+         "validation-abort")
+      else
+        (Printf.sprintf "validate %s" (Version.to_string version),
+         "validation")
+  | Trace.Idle _ -> ("idle", "idle")
+
+let args_of (p : Trace.payload) : (string * Json.t) list =
+  let num i = Json.Num (float_of_int i) in
+  match p with
+  | Trace.Exec { version; reads; writes } ->
+      [
+        ("txn", num (Version.txn_idx version));
+        ("incarnation", num (Version.incarnation version));
+        ("reads", num reads);
+        ("writes", num writes);
+      ]
+  | Trace.Exec_blocked { version; blocking; reads } ->
+      [
+        ("txn", num (Version.txn_idx version));
+        ("incarnation", num (Version.incarnation version));
+        ("blocking_txn", num blocking);
+        ("reads_before_abort", num reads);
+      ]
+  | Trace.Validation { version; aborted; reads } ->
+      [
+        ("txn", num (Version.txn_idx version));
+        ("incarnation", num (Version.incarnation version));
+        ("aborted", Json.Bool aborted);
+        ("reads", num reads);
+      ]
+  | Trace.Idle { spins } -> [ ("spins", num spins) ]
+
+let event_json (e : Trace.event) : Json.t =
+  let name, cat = name_of e.payload in
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (ns_to_us e.start_ns));
+      ("dur", Json.Num (ns_to_us e.dur_ns));
+      ("pid", Json.Num 0.);
+      ("tid", Json.Num (float_of_int e.worker));
+      ("args", Json.Obj (args_of e.payload));
+    ]
+
+(* Metadata events naming the process and one track per worker. *)
+let metadata (t : Trace.t) : Json.t list =
+  let meta ~name ~tid ~value =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 0.);
+        ("tid", Json.Num (float_of_int tid));
+        ("args", Json.Obj [ ("name", Json.Str value) ]);
+      ]
+  in
+  meta ~name:"process_name" ~tid:0 ~value:"block-stm"
+  :: List.init (Trace.num_workers t) (fun w ->
+         meta ~name:"thread_name" ~tid:w
+           ~value:(Printf.sprintf "worker-%d" w))
+
+let to_json (t : Trace.t) : Json.t =
+  Json.List (metadata t @ List.map event_json (Trace.events t))
+
+let write_file (t : Trace.t) (path : string) : unit =
+  Json.write_file path (to_json t)

@@ -1,0 +1,11 @@
+(** Render a {!Trace.t} as Chrome [trace_event] JSON (the array form),
+    loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+    One track per worker domain; every engine step is a duration event whose
+    [args] carry transaction index, incarnation, and abort cause. *)
+
+val to_json : Trace.t -> Json.t
+(** The full trace as a JSON array: process/track-name metadata events
+    followed by one ["ph": "X"] duration event per retained trace event. *)
+
+val write_file : Trace.t -> string -> unit
+(** [write_file t path] writes {!to_json} to [path]. *)

@@ -9,6 +9,7 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p99 : float;
 }
 
 let mean xs =
@@ -64,11 +65,13 @@ let summarize xs =
     max = hi;
     median = median xs;
     p95 = percentile 95. xs;
+    p99 = percentile 99. xs;
   }
 
 let pp_summary ppf s =
-  Fmt.pf ppf "n=%d mean=%.1f sd=%.1f min=%.1f med=%.1f p95=%.1f max=%.1f" s.n
-    s.mean s.stddev s.min s.median s.p95 s.max
+  Fmt.pf ppf
+    "n=%d mean=%.1f sd=%.1f min=%.1f med=%.1f p95=%.1f p99=%.1f max=%.1f" s.n
+    s.mean s.stddev s.min s.median s.p95 s.p99 s.max
 
 (** Geometric mean, for aggregating speedup ratios. *)
 let geomean xs =

@@ -7,8 +7,9 @@ type summary = {
   stddev : float;
   min : float;
   max : float;
-  median : float;
+  median : float;  (** p50. *)
   p95 : float;
+  p99 : float;
 }
 
 val mean : float array -> float

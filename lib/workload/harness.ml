@@ -32,9 +32,10 @@ let equal_outputs (a : int Blockstm_kernel.Txn.output array)
   && Array.for_all2 (Blockstm_kernel.Txn.equal_output Int.equal) a b
 
 (** Run Block-STM on [num_domains] real domains. *)
-let run_blockstm ?(config = Bstm.default_config) ?declared_writes ~storage
-    txns =
-  Bstm.run ~config ?declared_writes ~storage:(Store.reader storage) txns
+let run_blockstm ?(config = Bstm.default_config) ?declared_writes ?trace
+    ~storage txns =
+  Bstm.run ~config ?declared_writes ?trace ~storage:(Store.reader storage)
+    txns
 
 let run_sequential ~storage txns =
   Seq.run ~storage:(Store.reader storage) txns
@@ -98,9 +99,9 @@ let sim_blockstm ?(config = Bstm.default_config) ?declared_writes
       finish = Bstm.finish_task inst;
       profile = Bstm.pending_profile;
       next_task =
-        (fun () -> Blockstm_core.Block_stm.Scheduler.next_task inst.Bstm.sched);
+        (fun () -> Blockstm_core.Block_stm.Scheduler.next_task (Bstm.sched inst));
       is_done =
-        (fun () -> Blockstm_core.Block_stm.Scheduler.done_ inst.Bstm.sched);
+        (fun () -> Blockstm_core.Block_stm.Scheduler.done_ (Bstm.sched inst));
     }
   in
   let stats = Virtual_exec.run ~num_threads ~cost engine in

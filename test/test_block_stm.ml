@@ -273,12 +273,12 @@ let test_engine_quiescent_after_run () =
   Bstm.worker_loop inst;
   Array.iter Domain.join workers;
   Alcotest.(check int) "no active tasks" 0
-    (Scheduler.num_active_tasks inst.sched);
-  Alcotest.(check bool) "done" true (Scheduler.done_ inst.sched);
+    (Scheduler.num_active_tasks (Bstm.sched inst));
+  Alcotest.(check bool) "done" true (Scheduler.done_ (Bstm.sched inst));
   (* Every transaction must be EXECUTED at completion (Lemma 2). *)
   Array.iteri
     (fun i _ ->
-      let _, kind = Scheduler.status inst.sched i in
+      let _, kind = Scheduler.status (Bstm.sched inst) i in
       Alcotest.(check bool)
         (Printf.sprintf "tx%d executed" i)
         true

@@ -12,6 +12,7 @@ let () =
       ("simexec", Test_simexec.suite);
       ("virtual_exec", Test_virtual_exec.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("suspend_resume", Test_suspend.suite);
       ("stress", Test_stress.suite);
       ("chain", Test_chain.suite);

@@ -139,8 +139,8 @@ let prop_sim_blockstm_equals_sequential =
           Blockstm_simexec.Virtual_exec.start = Bstm.start_task inst;
           finish = Bstm.finish_task inst;
           profile = Bstm.pending_profile;
-          next_task = (fun () -> Scheduler.next_task inst.Bstm.sched);
-          is_done = (fun () -> Scheduler.done_ inst.Bstm.sched);
+          next_task = (fun () -> Scheduler.next_task (Bstm.sched inst));
+          is_done = (fun () -> Scheduler.done_ (Bstm.sched inst));
         }
       in
       let _stats =
@@ -148,7 +148,7 @@ let prop_sim_blockstm_equals_sequential =
           ~cost:Blockstm_simexec.Cost_model.default engine
       in
       let par = Bstm.finalize inst in
-      Scheduler.num_active_tasks inst.Bstm.sched = 0 && equal_results seq par)
+      Scheduler.num_active_tasks (Bstm.sched inst) = 0 && equal_results seq par)
 
 let prop_litm_deterministic_and_conserving =
   QCheck2.Test.make ~name:"litm: deterministic, same locations as sequential"

@@ -106,11 +106,11 @@ let test_quiescence_under_stress () =
   Bstm.worker_loop inst;
   Array.iter Domain.join workers;
   Alcotest.(check int) "active tasks zero" 0
-    (Scheduler.num_active_tasks inst.sched);
+    (Scheduler.num_active_tasks (Bstm.sched inst));
   let all_executed = ref true in
   Array.iteri
     (fun i _ ->
-      let _, kind = Scheduler.status inst.sched i in
+      let _, kind = Scheduler.status (Bstm.sched inst) i in
       if kind <> Scheduler.Executed then all_executed := false)
     txns;
   Alcotest.(check bool) "all executed" true !all_executed;

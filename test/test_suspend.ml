@@ -40,7 +40,7 @@ let test_scripted_suspension_and_resume () =
     Bstm.create_instance ~config:(sr_config ()) ~storage:(fun _ -> None)
       [| tx0; tx1; tx2 |]
   in
-  let sched = inst.Bstm.sched in
+  let sched = (Bstm.sched inst) in
   let claim kind_name pred =
     match Scheduler.next_task sched with
     | Some t when pred t -> t

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Fail if the odoc build emits any warning or error.
+# Usage: tools/check_doc.sh   (run from the repository root)
+set -eu
+out=$(dune build @doc 2>&1) || { printf '%s\n' "$out"; exit 1; }
+if printf '%s' "$out" | grep -Eiq 'warning|error'; then
+  printf '%s\n' "$out"
+  echo "check_doc: dune build @doc emitted warnings" >&2
+  exit 1
+fi
+echo "check_doc: dune build @doc clean"
