@@ -415,6 +415,69 @@ let real mode =
     [ 1; 2; 4 ];
   Report.emit_table t
 
+(* --- Rolling commit: time-to-commit latency --------------------------------- *)
+
+let commit_latency mode =
+  let t =
+    T.create
+      ~title:
+        "Rolling commit: per-transaction time-to-commit (wall clock, \
+         standard p2p; lazy mode commits everything at the end, so its \
+         latency is the block time)"
+      ~header:
+        [
+          "accounts";
+          "domains";
+          "tps";
+          "p50 (us)";
+          "p95 (us)";
+          "p99 (us)";
+          "block (us)";
+        ]
+  in
+  let block = match mode with Quick -> 1_000 | Full -> 5_000 in
+  List.iter
+    (fun accounts ->
+      List.iter
+        (fun domains ->
+          let w =
+            P2p.generate
+              (p2p_spec ~flavor:P2p.Standard ~accounts ~block ~seed:42)
+          in
+          let config =
+            {
+              Harness.Bstm.default_config with
+              num_domains = domains;
+              rolling_commit = true;
+            }
+          in
+          let r, ns =
+            Blockstm_stats.Clock.time_ns (fun () ->
+                Harness.run_blockstm ~config ~storage:w.storage w.txns)
+          in
+          let s = D.summarize (Array.map float_of_int r.commit_ns) in
+          let label p =
+            Printf.sprintf "commit_%s_ns/accounts=%d/domains=%d" p accounts
+              domains
+          in
+          Report.sample ~label:(label "p50") s.D.median;
+          Report.sample ~label:(label "p95") s.D.p95;
+          Report.sample ~label:(label "p99") s.D.p99;
+          let us v = Printf.sprintf "%.0f" (v /. 1e3) in
+          T.add_row t
+            [
+              string_of_int accounts;
+              string_of_int domains;
+              fmt_tps (Blockstm_stats.Clock.tps ~txns:block ~elapsed_ns:ns);
+              us s.D.median;
+              us s.D.p95;
+              us s.D.p99;
+              us (Int64.to_float ns);
+            ])
+        [ 1; 4 ])
+    [ 100; 1_000 ];
+  Report.emit_table t
+
 (* --- MiniMove end-to-end throughput ---------------------------------------- *)
 
 let minimove mode =
@@ -481,5 +544,6 @@ let all : (string * string * (mode -> unit)) list =
     ("ablations", "Design-choice ablations", ablations);
     ("gas-sharding", "Gas metering: single vs sharded counter (§7)", gas_sharding);
     ("real", "Real-domain wall-clock on this machine", real);
+    ("commit-latency", "Rolling commit: time-to-commit percentiles", commit_latency);
     ("minimove", "MiniMove interpreter end-to-end", minimove);
   ]

@@ -74,7 +74,7 @@ let test_scheduler_cycle =
   (* One full execute+validate cycle through a fresh 1-txn scheduler. *)
   Test.make ~name:"scheduler full cycle (1 txn)"
     (Staged.stage (fun () ->
-         let s = Sched.create ~block_size:1 in
+         let s = Sched.create ~block_size:1 () in
          (match Sched.next_task s with
          | Some (Sched.Execution _) ->
              ignore
@@ -82,8 +82,8 @@ let test_scheduler_cycle =
                   ~wrote_new_location:true)
          | _ -> assert false);
          (match Sched.next_task s with
-         | Some (Sched.Validation _) ->
-             ignore (Sched.finish_validation s ~txn_idx:0 ~aborted:false)
+         | Some (Sched.Validation (version, wave)) ->
+             ignore (Sched.finish_validation s ~version ~wave ~aborted:false)
          | _ -> assert false);
          ignore (Sched.next_task s);
          Sys.opaque_identity (Sched.done_ s)))

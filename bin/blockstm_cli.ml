@@ -160,6 +160,31 @@ let run_cmd =
       & info [ "no-estimates" ]
           ~doc:"Ablation: remove aborted writes instead of ESTIMATE markers.")
   in
+  let rolling =
+    Arg.(
+      value & flag
+      & info [ "rolling" ]
+          ~doc:
+            "Rolling commit: stream a committed prefix during execution \
+             (blockstm executor only) and report per-transaction \
+             time-to-commit percentiles.")
+  in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Run the workload as a chain of blocks (see $(b,--blocks)) with \
+             block $(i,h+1) executing while block $(i,h)'s state root is \
+             finalized in the background; verifies the roots against the \
+             unpipelined chain.")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 8
+      & info [ "blocks" ] ~docv:"N"
+          ~doc:"Number of chain blocks for $(b,--pipeline).")
+  in
   let verify =
     Arg.(
       value & flag
@@ -176,10 +201,62 @@ let run_cmd =
              (blockstm executor only) — load it in chrome://tracing or \
              https://ui.perfetto.dev.")
   in
+  let run_pipeline g config executor n_blocks n =
+    let module C = Harness.ChainX in
+    let executor =
+      match executor with
+      | E_sequential -> C.Sequential
+      | E_blockstm -> C.Block_stm config
+      | _ ->
+          Fmt.epr "--pipeline supports the blockstm and sequential executors@.";
+          exit 2
+    in
+    let n_blocks = max 1 (min n_blocks (max 1 n)) in
+    let size = (n + n_blocks - 1) / n_blocks in
+    let chunks =
+      List.init n_blocks (fun i ->
+          let lo = i * size in
+          Array.sub g.Synthetic.txns lo (min size (n - lo)))
+      |> List.filter (fun c -> Array.length c > 0)
+    in
+    let exec ~pipeline =
+      let chain = C.create ~executor ~genesis:g.Synthetic.storage () in
+      let _, ns =
+        Blockstm_stats.Clock.time_ns (fun () ->
+            C.execute_blocks ~pipeline chain chunks)
+      in
+      (chain, ns)
+    in
+    let piped, ns_piped = exec ~pipeline:true in
+    let plain, ns_plain = exec ~pipeline:false in
+    List.iter
+      (fun c -> Fmt.pr "%a@." C.pp_commit c)
+      (C.commits piped);
+    Fmt.pr "pipelined: %.0f tps, unpipelined: %.0f tps (%d blocks)@."
+      (Blockstm_stats.Clock.tps ~txns:n ~elapsed_ns:ns_piped)
+      (Blockstm_stats.Clock.tps ~txns:n ~elapsed_ns:ns_plain)
+      (List.length chunks);
+    match C.first_divergence piped plain with
+    | None -> Fmt.pr "verify vs unpipelined chain: OK@."
+    | Some h ->
+        Fmt.pr "verify vs unpipelined chain: MISMATCH at height %d@." h;
+        exit 1
+  in
   let action workload accounts block seed theta executor domains suspend
-      no_estimates verify trace_out =
+      no_estimates rolling pipeline blocks verify trace_out =
     let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
+    let config =
+      {
+        Harness.Bstm.default_config with
+        num_domains = domains;
+        suspend_resume = suspend;
+        use_estimates = not no_estimates;
+        rolling_commit = rolling;
+      }
+    in
+    if pipeline then run_pipeline g config executor blocks n
+    else begin
     let time f =
       let r, ns = Blockstm_stats.Clock.time_ns f in
       (r, Blockstm_stats.Clock.tps ~txns:n ~elapsed_ns:ns)
@@ -191,14 +268,6 @@ let run_cmd =
                                 ~storage:g.storage g.txns) in
           (r.snapshot, tps)
       | E_blockstm ->
-          let config =
-            {
-              Harness.Bstm.default_config with
-              num_domains = domains;
-              suspend_resume = suspend;
-              use_estimates = not no_estimates;
-            }
-          in
           let trace =
             Option.map
               (fun _ ->
@@ -211,6 +280,15 @@ let run_cmd =
                   g.txns)
           in
           Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics r.metrics;
+          if rolling && Array.length r.commit_ns > 0 then begin
+            let s =
+              Blockstm_stats.Descriptive.summarize
+                (Array.map float_of_int r.commit_ns)
+            in
+            Fmt.pr
+              "commit latency (us): p50=%.0f p95=%.0f p99=%.0f max=%.0f@."
+              (s.median /. 1e3) (s.p95 /. 1e3) (s.p99 /. 1e3) (s.max /. 1e3)
+          end;
           (match (trace, trace_out) with
           | Some tr, Some path ->
               Blockstm_obs.Trace_export.write_file tr path;
@@ -250,12 +328,13 @@ let run_cmd =
       Fmt.pr "verify vs sequential: %s@." (if ok then "OK" else "MISMATCH");
       if not ok then exit 1
     end
+    end
   in
   let term =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
-      $ theta_arg $ executor $ domains $ suspend $ no_estimates $ verify
-      $ trace_out)
+      $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
+      $ pipeline $ blocks $ verify $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -323,7 +402,8 @@ let exp_cmd =
       value & opt_all string []
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
-                real, minimove, micro). Repeatable; default: all.")
+                gas-sharding, real, commit-latency, minimove, micro). \
+                Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")

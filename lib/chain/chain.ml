@@ -78,22 +78,24 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value
       (Store.to_alist t.state)
 
+  let run_executor ?declared_writes (t : 'o t)
+      (txns : (L.t, V.t, 'o) Txn.t array) =
+    match t.executor with
+    | Sequential ->
+        let r = Seq.run ~storage:(Store.reader t.state) txns in
+        (r.snapshot, r.outputs, None)
+    | Block_stm config ->
+        let r =
+          Bstm.run ~config ?declared_writes ~storage:(Store.reader t.state)
+            txns
+        in
+        (r.snapshot, r.outputs, Some r.metrics)
+
   (** Execute and commit one block. Returns the commit record; the chain
       state advances to the block's post-state. *)
   let execute_block ?declared_writes (t : 'o t)
       (txns : (L.t, V.t, 'o) Txn.t array) : 'o block_commit =
-    let snapshot, outputs, metrics =
-      match t.executor with
-      | Sequential ->
-          let r = Seq.run ~storage:(Store.reader t.state) txns in
-          (r.snapshot, r.outputs, None)
-      | Block_stm config ->
-          let r =
-            Bstm.run ~config ?declared_writes
-              ~storage:(Store.reader t.state) txns
-          in
-          (r.snapshot, r.outputs, Some r.metrics)
-    in
+    let snapshot, outputs, metrics = run_executor ?declared_writes t txns in
     Store.apply_delta t.state snapshot;
     t.height <- t.height + 1;
     let commit =
@@ -109,6 +111,76 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     in
     t.commits <- commit :: t.commits;
     commit
+
+  (* A block whose transactions have executed and whose delta is folded into
+     the chain state, but whose state-root digest is still being computed in
+     a background domain (over a frozen copy of the post-state). *)
+  type 'o pending_commit = {
+    p_height : int;
+    p_txn_count : int;
+    p_outputs : 'o Txn.output array;
+    p_delta_root : int64;
+    p_metrics : Bstm.metrics option;
+    p_root : int64 Domain.t;
+  }
+
+  (** Execute a sequence of blocks in order and return their commits, oldest
+      first. With [pipeline] (default [false]), block [h]'s state-root
+      finalization — the digest over the full post-state — runs in a
+      background domain while block [h+1] executes, the streaming analogue of
+      the rolling engine commit one level up: the root is still computed over
+      a frozen copy of exactly the state [execute_block] would digest, so
+      commits (heights, roots, outputs) are identical either way. *)
+  let execute_blocks ?(pipeline = false) (t : 'o t)
+      (blocks : (L.t, V.t, 'o) Txn.t array list) : 'o block_commit list =
+    if not pipeline then List.map (fun txns -> execute_block t txns) blocks
+    else begin
+      let committed = ref [] in
+      let finish (p : 'o pending_commit) : unit =
+        let commit =
+          {
+            height = p.p_height;
+            txn_count = p.p_txn_count;
+            outputs = p.p_outputs;
+            state_root = Domain.join p.p_root;
+            delta_root = p.p_delta_root;
+            metrics = p.p_metrics;
+          }
+        in
+        t.commits <- commit :: t.commits;
+        committed := commit :: !committed
+      in
+      let pending = ref None in
+      List.iter
+        (fun txns ->
+          let snapshot, outputs, metrics = run_executor t txns in
+          Store.apply_delta t.state snapshot;
+          t.height <- t.height + 1;
+          (* Freeze the post-state before the next block mutates it; the
+             digest domain only reads the frozen copy (the sort inside
+             [to_alist] and the fold both run off the critical path). *)
+          let frozen = Store.copy t.state in
+          let hash_loc = t.hash_loc and hash_value = t.hash_value in
+          let p =
+            {
+              p_height = t.height;
+              p_txn_count = Array.length txns;
+              p_outputs = outputs;
+              p_delta_root = digest ~hash_loc ~hash_value snapshot;
+              p_metrics = metrics;
+              p_root =
+                Domain.spawn (fun () ->
+                    digest ~hash_loc ~hash_value (Store.to_alist frozen));
+            }
+          in
+          (* Join the previous block's root only now — its digest overlapped
+             this block's execution — keeping commits in height order. *)
+          (match !pending with Some prev -> finish prev | None -> ());
+          pending := Some p)
+        blocks;
+      (match !pending with Some prev -> finish prev | None -> ());
+      List.rev !committed
+    end
 
   (** Replica divergence check: do two chains agree on every committed
       root? Returns the height of the first divergence, if any. *)

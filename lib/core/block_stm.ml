@@ -52,14 +52,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     discarded_suspensions : int;
         (** Suspensions whose read prefix no longer validated and were
             discarded (suspend_resume mode). *)
+    commits : int;
+        (** Transactions committed by the rolling sweep (0 when
+            [rolling_commit] is off: the block commits lazily as a whole). *)
   }
 
   let pp_metrics ppf m =
     Fmt.pf ppf
       "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
-       preval_skips=%d; resumed=%d; discarded=%d }"
+       preval_skips=%d; resumed=%d; discarded=%d; commits=%d }"
       m.incarnations m.dependency_aborts m.validations m.validation_aborts
-      m.prevalidation_skips m.resumptions m.discarded_suspensions
+      m.prevalidation_skips m.resumptions m.discarded_suspensions m.commits
 
   type config = {
     num_domains : int;  (** Worker domains (>= 1). *)
@@ -84,6 +87,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             starts, the prefix of reads performed before the suspension is
             re-validated — exactly the optimization §7 suggests — and on
             success execution resumes mid-transaction. *)
+    rolling_commit : bool;
+        (** Stream a committed prefix instead of the paper's lazy
+            block-at-once commit (Lemma 2): workers opportunistically
+            advance the scheduler's commit sweep, committed entries are
+            flushed out of MVMemory into a committed-base table, and
+            [on_commit] hooks fire per transaction in preset order. Default
+            [false]: paper-faithful behavior, byte-identical results. *)
   }
 
   let default_config =
@@ -93,12 +103,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       prevalidate_reads = true;
       prefill_estimates = false;
       suspend_resume = false;
+      rolling_commit = false;
     }
 
   type 'o result = {
     snapshot : (L.t * V.t) list;  (** Final value per affected location. *)
     outputs : 'o txn_output array;  (** Per-transaction outputs, in order. *)
     metrics : metrics;
+    commit_ns : int array;
+        (** Per-transaction time-to-commit (ns since the instance was
+            created), in preset order. Empty unless [rolling_commit]. *)
   }
 
   (* ---------------------------------------------------------------------- *)
@@ -132,11 +146,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     c_discarded : Metrics.counter;
     c_vm_reads : Metrics.counter;
     c_vm_writes : Metrics.counter;
+    c_commits : Metrics.counter;
     h_exec_ns : Metrics.histogram;
         (* Step-duration histograms, observed only when tracing is on (the
            untraced loop takes no timestamps). *)
     h_val_ns : Metrics.histogram;
+    h_commit_ns : Metrics.histogram;
+        (* Time-to-commit per transaction (rolling_commit only). *)
     trace : Trace.t option;
+    (* Rolling-commit streaming state. [commit_ns.(j)] is written once, by
+       whichever domain commits j (under the scheduler's commit mutex), and
+       read after all domains join. [t0_ns] is the latency origin. *)
+    t0_ns : int;
+    commit_ns : int array;
+    on_commit : (int -> 'o txn_output -> unit) option;
   }
 
   and 'o suspension_slot = 'o suspension option Atomic.t
@@ -168,10 +191,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   }
 
   let create_instance ?(config = default_config) ?declared_writes ?trace
-      ~storage (txns : 'o txn array) : 'o instance =
+      ?on_commit ~storage (txns : 'o txn array) : 'o instance =
     let n = Array.length txns in
     if config.num_domains < 1 then
       invalid_arg "Block_stm: num_domains must be >= 1";
+    if on_commit <> None && not config.rolling_commit then
+      invalid_arg "Block_stm: on_commit requires rolling_commit";
     (match trace with
     | Some tr when Trace.num_workers tr < config.num_domains ->
         invalid_arg "Block_stm: trace has fewer workers than num_domains"
@@ -190,7 +215,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       txns;
       storage;
       mv;
-      sched = Scheduler.create ~block_size:n;
+      sched = Scheduler.create ~rolling:config.rolling_commit ~block_size:n ();
       cfg = config;
       outputs = Array.make n None;
       suspensions = Array.init n (fun _ -> Atomic.make None);
@@ -204,9 +229,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       c_discarded = Metrics.counter obs "discarded_suspensions";
       c_vm_reads = Metrics.counter obs "vm_reads";
       c_vm_writes = Metrics.counter obs "vm_writes";
+      c_commits = Metrics.counter obs "commits";
       h_exec_ns = Metrics.histogram obs "exec_step_ns";
       h_val_ns = Metrics.histogram obs "validation_step_ns";
+      h_commit_ns = Metrics.histogram obs "commit_latency_ns";
       trace;
+      t0_ns = Trace.now_ns ();
+      commit_ns = (if config.rolling_commit then Array.make n (-1) else [||]);
+      on_commit;
     }
 
   (* ---------------------------------------------------------------------- *)
@@ -333,6 +363,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Validated of { version : Version.t; aborted : bool; reads : int }
     | Got_task
     | No_task
+    | Committed of { upto : int; count : int }
 
   (* §4 optimization: before re-running the VM, re-read the previous
      incarnation's read-set; return the first blocking transaction if any
@@ -367,7 +398,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         reads : int;
         suspension : 'o suspension option;
       }
-    | P_val of { version : Version.t; valid : bool; reads : int }
+    | P_val of { version : Version.t; wave : int; valid : bool; reads : int }
 
   (** Planned work profile of a pending task, for cost models. *)
   let pending_profile : _ pending -> [ `Exec of int * int | `Dep of int | `Val of int ]
@@ -426,12 +457,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Vm_blocked { blocking; reads_so_far; suspension } ->
             P_exec_dep { version; blocking; reads = reads_so_far; suspension }
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
-    | Scheduler.Validation version ->
+    | Scheduler.Validation (version, wave) ->
         let txn_idx = Version.txn_idx version in
         Metrics.incr inst.c_validations;
         let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
         let valid = Mv.validate_read_set inst.mv txn_idx in
-        P_val { version; valid; reads }
+        P_val { version; wave; valid; reads }
 
   let finish_task (inst : 'o instance) (p : 'o pending) :
       Scheduler.task option * step_event =
@@ -468,7 +499,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
              caller immediately retries (paper Line 15). *)
           ( Some (Scheduler.Execution version),
             Exec_dependency { version; blocking; reads } )
-    | P_val { version; valid; reads } ->
+    | P_val { version; wave; valid; reads } ->
         let txn_idx = Version.txn_idx version in
         let aborted =
           (not valid) && Scheduler.try_validation_abort inst.sched version
@@ -478,7 +509,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           if inst.cfg.use_estimates then
             Mv.convert_writes_to_estimates inst.mv txn_idx
           else Mv.remove_written_entries inst.mv txn_idx);
-        let next = Scheduler.finish_validation inst.sched ~txn_idx ~aborted in
+        let next =
+          Scheduler.finish_validation inst.sched ~version ~wave ~aborted
+        in
         (next, Validated { version; aborted; reads })
 
   (** One step of the Algorithm 1 loop body: run the carried task (start and
@@ -494,13 +527,44 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Some t -> (Some t, Got_task)
         | None -> (None, No_task))
 
+  (* Per-transaction commit hook, run in preset order under the scheduler's
+     commit mutex. The transaction's output is final here: EXECUTED implies
+     the slot was filled by [finish_task] before the status flip. *)
+  let commit_one (inst : 'o instance) (j : int) : unit =
+    inst.commit_ns.(j) <- Trace.now_ns () - inst.t0_ns;
+    Metrics.incr inst.c_commits;
+    Metrics.observe inst.h_commit_ns inst.commit_ns.(j);
+    match inst.on_commit with
+    | None -> ()
+    | Some f -> (
+        match inst.outputs.(j) with
+        | Some o -> f j o
+        | None -> assert false (* EXECUTED implies output recorded *))
+
+  (** Opportunistic rolling-commit step: advance the scheduler's commit
+      sweep and flush newly committed transactions out of MVMemory. Returns
+      the number of transactions committed by this call. *)
+  let maybe_commit (inst : 'o instance) : int =
+    if not inst.cfg.rolling_commit then 0
+    else begin
+      let n =
+        Scheduler.try_advance_commit inst.sched ~on_commit:(commit_one inst)
+      in
+      if n > 0 then
+        Mv.flush_committed inst.mv
+          ~upto:(Scheduler.committed_prefix inst.sched);
+      n
+    end
+
   let worker_loop ?(worker = 0) (inst : _ instance) : unit =
+    let rolling = inst.cfg.rolling_commit in
     match inst.trace with
     | None ->
         (* Untraced hot loop: no timestamps, no event plumbing. *)
         let task = ref None in
         while not (Scheduler.done_ inst.sched) do
           let task', _ev = step inst !task in
+          if rolling then ignore (maybe_commit inst);
           task := task'
         done
     | Some tr ->
@@ -518,6 +582,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               Metrics.observe inst.h_val_ns (t1 - t0)
           | None -> ());
           Trace.record tr ring ~t0_ns:t0 ~t1_ns:t1 ev;
+          if rolling then begin
+            let tc0 = Trace.now_ns () in
+            let committed = maybe_commit inst in
+            if committed > 0 then
+              Trace.record tr ring ~t0_ns:tc0 ~t1_ns:(Trace.now_ns ())
+                (Committed
+                   {
+                     upto = Scheduler.committed_prefix inst.sched;
+                     count = committed;
+                   })
+          end;
           task := task'
         done
 
@@ -530,15 +605,39 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       prevalidation_skips = Metrics.value inst.c_preval_skips;
       resumptions = Metrics.value inst.c_resumptions;
       discarded_suspensions = Metrics.value inst.c_discarded;
+      commits = Metrics.value inst.c_commits;
     }
 
   let sched (inst : _ instance) : Scheduler.t = inst.sched
 
   let metrics_registry (inst : _ instance) : Metrics.t = inst.obs
 
+  let committed_prefix (inst : _ instance) : int =
+    Scheduler.committed_prefix inst.sched
+
   let finalize (inst : 'o instance) : 'o result =
+    let n = Array.length inst.txns in
+    let snapshot =
+      if inst.cfg.rolling_commit then begin
+        (* Drain the sweep: every transaction is EXECUTED with a final
+           successful validation by the time the scheduler is done, so one
+           blocking pass commits whatever the opportunistic in-loop sweeps
+           left over. The snapshot is then served from the committed base. *)
+        ignore (Scheduler.advance_commit inst.sched ~on_commit:(commit_one inst));
+        let prefix = Scheduler.committed_prefix inst.sched in
+        if prefix <> n then
+          Fmt.failwith
+            "Block_stm: rolling commit stalled at %d/%d transactions" prefix n;
+        Mv.flush_committed inst.mv ~upto:n;
+        Mv.committed_snapshot inst.mv
+      end
+      else
+        (* Lazy block-at-once commit: the paper's final snapshot, computed
+           in parallel over the affected locations (§4.1). *)
+        Mv.snapshot_parallel ~num_domains:inst.cfg.num_domains inst.mv
+    in
     {
-      snapshot = Mv.snapshot inst.mv;
+      snapshot;
       outputs =
         Array.mapi
           (fun j -> function
@@ -547,16 +646,24 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 Fmt.failwith "Block_stm: transaction %d has no output" j)
           inst.outputs;
       metrics = metrics_of inst;
+      commit_ns = Array.copy inst.commit_ns;
     }
 
   (** Execute a block. [storage] is the pre-block state; [txns] the block in
       its preset serialization order. Spawns [config.num_domains - 1] extra
       domains and participates with the calling domain. *)
-  let run ?(config = default_config) ?declared_writes ?trace ~storage
-      (txns : 'o txn array) : 'o result =
-    let inst = create_instance ~config ?declared_writes ?trace ~storage txns in
+  let run ?(config = default_config) ?declared_writes ?trace ?on_commit
+      ~storage (txns : 'o txn array) : 'o result =
+    let inst =
+      create_instance ~config ?declared_writes ?trace ?on_commit ~storage txns
+    in
     if Array.length txns = 0 then
-      { snapshot = []; outputs = [||]; metrics = metrics_of inst }
+      {
+        snapshot = [];
+        outputs = [||];
+        metrics = metrics_of inst;
+        commit_ns = [||];
+      }
     else begin
       let others =
         Array.init (config.num_domains - 1) (fun i ->

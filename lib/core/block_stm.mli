@@ -52,6 +52,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     discarded_suspensions : int;
         (** Suspensions whose read prefix no longer validated and were
             discarded (suspend_resume mode). *)
+    commits : int;
+        (** Transactions committed by the rolling sweep (0 when
+            [rolling_commit] is off: the block commits lazily as a whole). *)
   }
 
   val pp_metrics : Format.formatter -> metrics -> unit
@@ -75,16 +78,27 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             transaction's continuation with an OCaml effect handler instead
             of discarding the work; the next incarnation re-validates the
             read prefix and resumes mid-transaction on success. *)
+    rolling_commit : bool;
+        (** Stream a committed prefix instead of the paper's lazy
+            block-at-once commit (Lemma 2): workers opportunistically advance
+            the scheduler's commit sweep as they loop, committed transactions
+            are flushed out of MVMemory into a committed-base table, and the
+            optional [on_commit] hook fires per transaction in preset order.
+            The final snapshot and outputs are guaranteed identical to the
+            lazy mode. Default [false]: paper-faithful behavior. *)
   }
 
   val default_config : config
-  (** One domain, estimates and read-set prevalidation on, prefill and
-      suspend/resume off. *)
+  (** One domain, estimates and read-set prevalidation on, prefill,
+      suspend/resume and rolling commit off. *)
 
   type 'o result = {
     snapshot : (L.t * V.t) list;  (** Final value per affected location. *)
     outputs : 'o txn_output array;  (** Per-transaction outputs, in order. *)
     metrics : metrics;
+    commit_ns : int array;
+        (** Per-transaction time-to-commit (ns since the instance was
+            created), in preset order. Empty unless [rolling_commit]. *)
   }
 
   type 'o instance
@@ -96,15 +110,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     ?config:config ->
     ?declared_writes:L.t array array ->
     ?trace:Trace.t ->
+    ?on_commit:(int -> 'o txn_output -> unit) ->
     storage:(L.t, V.t) Intf.storage ->
     'o txn array ->
     'o instance
   (** [declared_writes] is required by [config.prefill_estimates] (one
       location array per transaction). [trace] enables step-event tracing:
       every worker records into its own ring (the trace must have at least
-      [config.num_domains] workers).
-      @raise Invalid_argument on bad [config] / [declared_writes] / [trace]
-      combinations. *)
+      [config.num_domains] workers). [on_commit j output] streams each
+      transaction's final output as it commits — called exactly once per
+      transaction, in preset order (j = 0, 1, ...), from whichever domain
+      advances the commit sweep, under the scheduler's commit mutex (keep it
+      cheap). Requires [config.rolling_commit].
+      @raise Invalid_argument on bad [config] / [declared_writes] / [trace] /
+      [on_commit] combinations. *)
 
   val sched : 'o instance -> Scheduler.t
   (** The collaborative scheduler driving this instance — exposed for the
@@ -114,8 +133,24 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   (** The live metrics registry: counters ["incarnations"],
       ["dependency_aborts"], ["validations"], ["validation_aborts"],
       ["prevalidation_skips"], ["resumptions"], ["discarded_suspensions"],
-      ["vm_reads"], ["vm_writes"]; histograms ["exec_step_ns"] and
-      ["validation_step_ns"] (populated only when tracing is enabled). *)
+      ["vm_reads"], ["vm_writes"], ["commits"]; histograms ["exec_step_ns"]
+      and ["validation_step_ns"] (populated only when tracing is enabled) and
+      ["commit_latency_ns"] (per-transaction time-to-commit, rolling_commit
+      only). *)
+
+  val committed_prefix : 'o instance -> int
+  (** Length of the committed prefix so far (0 unless [rolling_commit]).
+      Monotonically non-decreasing; reaches the block size by the time
+      {!finalize} returns. *)
+
+  val maybe_commit : 'o instance -> int
+  (** Opportunistic rolling-commit step: advance the scheduler's commit
+      sweep (if the commit mutex is free) and flush newly committed
+      transactions out of MVMemory. Returns the number of transactions
+      committed by this call. The engine's own {!worker_loop} calls this
+      every iteration when [rolling_commit] is set; external drivers (the
+      virtual-time simulator) may call it between {!step}s. No-op returning
+      0 unless [config.rolling_commit]. *)
 
   (** What a single engine step did — consumed by the virtual-time simulator
       for cost accounting, and by tests. *)
@@ -125,6 +160,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     | Validated of { version : Version.t; aborted : bool; reads : int }
     | Got_task
     | No_task
+    | Committed of { upto : int; count : int }
 
   type 'o pending
   (** Work whose observable reads have happened but whose effects are not
@@ -155,13 +191,18 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   val metrics_of : 'o instance -> metrics
 
   val finalize : 'o instance -> 'o result
-  (** Read out the result. Call only after all workers have finished.
+  (** Read out the result. Call only after all workers have finished. In
+      rolling-commit mode this drains the commit sweep (firing any remaining
+      [on_commit] hooks) and serves the snapshot from the committed base;
+      otherwise it computes the paper's lazy block-at-once snapshot in
+      parallel over the affected locations.
       @raise Failure if some transaction never produced an output. *)
 
   val run :
     ?config:config ->
     ?declared_writes:L.t array array ->
     ?trace:Trace.t ->
+    ?on_commit:(int -> 'o txn_output -> unit) ->
     storage:(L.t, V.t) Intf.storage ->
     'o txn array ->
     'o result

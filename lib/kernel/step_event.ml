@@ -13,6 +13,9 @@ type t =
           failed and won the abort. *)
   | Got_task  (** [next_task] produced a task to run next step. *)
   | No_task  (** [next_task] found nothing ready (idle spin). *)
+  | Committed of { upto : int; count : int }
+      (** The rolling-commit sweep advanced: [count] transactions became
+          final, making [upto] the committed-prefix length. *)
 
 let pp ppf = function
   | Executed { version; reads; writes } ->
@@ -24,3 +27,5 @@ let pp ppf = function
         reads
   | Got_task -> Fmt.string ppf "got-task"
   | No_task -> Fmt.string ppf "no-task"
+  | Committed { upto; count } ->
+      Fmt.pf ppf "committed[upto=%d,count=%d]" upto count

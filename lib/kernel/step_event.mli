@@ -13,5 +13,8 @@ type t =
           and won the abort. *)
   | Got_task  (** [next_task] produced a task to run next step. *)
   | No_task  (** [next_task] found nothing ready (idle spin). *)
+  | Committed of { upto : int; count : int }
+      (** The rolling-commit sweep advanced: [count] transactions became
+          final, making [upto] the committed-prefix length. *)
 
 val pp : Format.formatter -> t -> unit

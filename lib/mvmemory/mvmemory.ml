@@ -24,8 +24,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Estimate  (** Placeholder left by an aborted incarnation's write. *)
 
   (* A location's version chain. [versions] is an immutable map swapped under
-     [mutex]; readers take the lock only to load the root pointer. *)
-  type cell = { mutex : Mutex.t; mutable versions : entry IMap.t }
+     [mutex]; readers take the lock only to load the root pointer. [base] is
+     the committed-base entry: the highest committed writer folded out of the
+     chain by [flush_committed], consulted when the chain has no entry below
+     the reader. *)
+  type cell = {
+    mutex : Mutex.t;
+    mutable versions : entry IMap.t;
+    mutable base : (Version.t * V.t) option;
+  }
 
   type read_result =
     | Ok of Version.t * V.t
@@ -46,6 +53,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     last_written : L.t array Atomic.t array;
     last_reads : read_set Atomic.t array;
     block_size : int;
+    (* Rolling-commit flush state: [flushed_upto] is the length of the
+       committed prefix already folded into the per-cell [base] entries.
+       Guarded by [flush_mutex]; read via {!flushed_upto} without it. *)
+    flush_mutex : Mutex.t;
+    mutable flushed_upto : int;
   }
 
   let create ?(nshards = 64) ~block_size () =
@@ -58,6 +70,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       last_written = Array.init block_size (fun _ -> Atomic.make [||]);
       last_reads = Array.init block_size (fun _ -> Atomic.make [||]);
       block_size;
+      flush_mutex = Mutex.create ();
+      flushed_upto = 0;
     }
 
   let block_size t = t.block_size
@@ -74,7 +88,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       | Some c -> Some c
       | None ->
           if create then (
-            let c = { mutex = Mutex.create (); versions = IMap.empty } in
+            let c =
+              { mutex = Mutex.create (); versions = IMap.empty; base = None }
+            in
             Tbl.add tbl loc c;
             Some c)
           else None
@@ -82,28 +98,35 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     Mutex.unlock lock;
     cell
 
-  let cell_versions (c : cell) : entry IMap.t =
-    Mutex.lock c.mutex;
-    let v = c.versions in
-    Mutex.unlock c.mutex;
-    v
-
   let cell_update (c : cell) (f : entry IMap.t -> entry IMap.t) : unit =
     Mutex.lock c.mutex;
     c.versions <- f c.versions;
     Mutex.unlock c.mutex
 
-  (* Algorithm 3, [read]: entry by the highest transaction index < txn_idx. *)
+  (* Algorithm 3, [read]: entry by the highest transaction index < txn_idx.
+     The committed base is only consulted when the chain has no entry below
+     the reader: flushed entries are always lower than every unflushed chain
+     entry (the flush removes the whole committed prefix per location), so
+     chain-first preserves the highest-lower-writer rule. The base keeps the
+     exact version of the flushed write, so read descriptors — and therefore
+     validation — are unchanged by a flush. *)
   let read t (loc : L.t) ~(txn_idx : int) : read_result =
     match find_cell t loc with
     | None -> Not_found
     | Some cell -> (
-        let versions = cell_versions cell in
+        Mutex.lock cell.mutex;
+        let versions = cell.versions in
+        let base = cell.base in
+        Mutex.unlock cell.mutex;
         match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with
-        | None -> Not_found
         | Some (idx, Estimate) -> Read_error { blocking_txn_idx = idx }
         | Some (idx, Written { incarnation; value }) ->
-            Ok (Version.make ~txn_idx:idx ~incarnation, value))
+            Ok (Version.make ~txn_idx:idx ~incarnation, value)
+        | None -> (
+            match base with
+            | Some (version, value) when Version.txn_idx version < txn_idx ->
+                Ok (version, value)
+            | _ -> Not_found))
 
   (* Algorithm 2, [apply_write_set]. *)
   let apply_write_set t ~txn_idx ~incarnation (write_set : write_set) : unit =
@@ -254,6 +277,62 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       (* [locs] is sorted, so the filtered result is too. *)
       Array.to_list results |> List.filter_map Fun.id
     end
+
+  (* --- Rolling-commit flush ---------------------------------------------- *)
+
+  (** Fold the committed prefix [0, upto) into the per-location committed
+      base and prune those entries from the version chains, shrinking
+      {!entry_count} as the prefix advances. Only call with [upto] at most
+      the scheduler's committed prefix: flushed transactions must be final
+      (their last incarnation recorded, no ESTIMATEs, never re-executed).
+      Thread-safe and idempotent — concurrent calls serialize on an internal
+      mutex and each prefix index is flushed exactly once. Reads above the
+      committed prefix observe identical results before, during and after a
+      flush (same value, same version descriptor). *)
+  let flush_committed t ~(upto : int) : unit =
+    if upto < 0 || upto > t.block_size then
+      invalid_arg "Mvmemory.flush_committed: upto out of range";
+    Mutex.lock t.flush_mutex;
+    for j = t.flushed_upto to upto - 1 do
+      (* [last_written] is final for a committed transaction. Ascending [j]
+         keeps the base at the highest committed writer per location. *)
+      Array.iter
+        (fun loc ->
+          match find_cell t loc with
+          | None -> assert false (* entry was written by [record] *)
+          | Some cell ->
+              Mutex.lock cell.mutex;
+              (match IMap.find_opt j cell.versions with
+              | Some (Written { incarnation; value }) ->
+                  cell.base <-
+                    Some (Version.make ~txn_idx:j ~incarnation, value);
+                  cell.versions <- IMap.remove j cell.versions
+              | Some Estimate ->
+                  (* A committed transaction has no unresolved estimates. *)
+                  assert false
+              | None -> ());
+              Mutex.unlock cell.mutex)
+        (Atomic.get t.last_written.(j))
+    done;
+    if upto > t.flushed_upto then t.flushed_upto <- upto;
+    Mutex.unlock t.flush_mutex
+
+  (** Prefix length already folded into the committed base. *)
+  let flushed_upto t : int = t.flushed_upto
+
+  (** The committed base as a sorted association list. After a full flush
+      ([flushed_upto t = block_size t]) this equals {!snapshot}. *)
+  let committed_snapshot t : (L.t * V.t) list =
+    List.filter_map
+      (fun loc ->
+        match find_cell t loc with
+        | None -> None
+        | Some cell ->
+            Mutex.lock cell.mutex;
+            let base = cell.base in
+            Mutex.unlock cell.mutex;
+            Option.map (fun (_, value) -> (loc, value)) base)
+      (all_locations t)
 
   (** Diagnostic: number of version entries currently stored. *)
   let entry_count t : int =

@@ -89,6 +89,25 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       locations across [num_domains] (default 2) domains. Falls back to the
       sequential path for small snapshots. *)
 
+  (** {2 Rolling-commit flush} *)
+
+  val flush_committed : t -> upto:int -> unit
+  (** Fold the committed prefix [0, upto) into a per-location committed-base
+      entry and prune those entries from the version chains, shrinking
+      {!entry_count} as the prefix advances (the read fast-path falls back
+      to the base when the chain has no entry below the reader, preserving
+      exact version descriptors). Only call with [upto] at most the
+      scheduler's committed prefix. Thread-safe and idempotent.
+      @raise Invalid_argument if [upto] is negative or exceeds the block
+      size. *)
+
+  val flushed_upto : t -> int
+  (** Prefix length already folded into the committed base. *)
+
+  val committed_snapshot : t -> (L.t * V.t) list
+  (** The committed base as a sorted association list. After a full flush
+      this equals {!snapshot}. *)
+
   val entry_count : t -> int
   (** Diagnostic: number of version entries currently stored. *)
 end

@@ -26,6 +26,7 @@ let k_exec_dep = 1
 let k_val = 2
 let k_val_abort = 3
 let k_idle = 4
+let k_commit = 5
 
 type ring = {
   cap : int;
@@ -108,6 +109,9 @@ let record (t : t) (r : ring) ~(t0_ns : int) ~(t1_ns : int)
         ~txn:(Version.txn_idx version)
         ~inc:(Version.incarnation version)
         ~a:reads ~b:0
+  | Step_event.Committed { upto; count } ->
+      push r ~ts ~dur ~kind:k_commit ~txn:(upto - 1) ~inc:(-1) ~a:upto
+        ~b:count
 
 (* --- Reading -------------------------------------------------------------- *)
 
@@ -120,6 +124,9 @@ type payload =
   | Validation of { version : Version.t; aborted : bool; reads : int }
       (** A validation pass; [aborted] is the abort cause marker. *)
   | Idle of { spins : int }  (** Coalesced empty [next_task] polls. *)
+  | Commit of { upto : int; count : int }
+      (** The rolling-commit sweep advanced the committed prefix to [upto],
+          committing [count] transactions. *)
 
 type event = {
   worker : int;
@@ -142,6 +149,8 @@ let decode (r : ring) (worker : int) (i : int) : event =
           aborted = r.kind.(i) = k_val_abort;
           reads = r.a.(i);
         }
+    else if r.kind.(i) = k_commit then
+      Commit { upto = r.a.(i); count = r.b.(i) }
     else Idle { spins = r.b.(i) }
   in
   { worker; start_ns = r.ts.(i); dur_ns = r.dur.(i); payload }
@@ -176,3 +185,6 @@ let pp_event ppf (e : event) =
   | Idle { spins } ->
       Fmt.pf ppf "[w%d +%dns %dns] idle spins=%d" e.worker e.start_ns e.dur_ns
         spins
+  | Commit { upto; count } ->
+      Fmt.pf ppf "[w%d +%dns %dns] commit upto=%d count=%d" e.worker
+        e.start_ns e.dur_ns upto count

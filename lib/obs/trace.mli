@@ -45,6 +45,9 @@ type payload =
   | Validation of { version : Version.t; aborted : bool; reads : int }
       (** A validation pass; [aborted] marks a validation abort. *)
   | Idle of { spins : int }  (** Coalesced empty [next_task] polls. *)
+  | Commit of { upto : int; count : int }
+      (** The rolling-commit sweep advanced the committed prefix to [upto],
+          committing [count] transactions. *)
 
 type event = {
   worker : int;

@@ -28,6 +28,8 @@ let name_of (p : Trace.payload) : string * string =
         (Printf.sprintf "validate %s" (Version.to_string version),
          "validation")
   | Trace.Idle _ -> ("idle", "idle")
+  | Trace.Commit { upto; _ } ->
+      (Printf.sprintf "commit upto=%d" upto, "commit")
 
 let args_of (p : Trace.payload) : (string * Json.t) list =
   let num i = Json.Num (float_of_int i) in
@@ -54,6 +56,8 @@ let args_of (p : Trace.payload) : (string * Json.t) list =
         ("reads", num reads);
       ]
   | Trace.Idle { spins } -> [ ("spins", num spins) ]
+  | Trace.Commit { upto; count } ->
+      [ ("committed_prefix", num upto); ("count", num count) ]
 
 let event_json (e : Trace.event) : Json.t =
   let name, cat = name_of e.payload in

@@ -1,5 +1,5 @@
 (** The collaborative scheduler (the paper's Scheduler module,
-    Algorithms 5–9).
+    Algorithms 5–9), extended with a rolling committed-prefix sweep.
 
     Maintains two logical ordered sets — pending {e execution} tasks and
     pending {e validation} tasks — each implemented as a single atomic counter
@@ -11,6 +11,22 @@
     Completion is detected by [check_done]'s double-collect (the paper's
     Section 3.3.2): both indices at or past the block size, zero active tasks,
     and [decrease_cnt] unchanged across the observation window.
+
+    {b Rolling commit} (created with [~rolling:true]): instead of committing
+    the whole block when [check_done] fires, a monotone [commit_idx] sweeps
+    forward — off the hot path, under a dedicated mutex — committing
+    transaction [j] as soon as a {e completed} validation of [j]'s current
+    incarnation is known to have observed the final state of the prefix.
+    The evidence is a per-transaction {e proof}: the (incarnation, wave)
+    recorded by the last successful validation, where the wave is the value
+    of a global pullback counter captured when the validation task was
+    claimed. A proof is admissible when its wave is at least [dirty.(j)], the
+    wave of the last pullback targeting an index [<= j] — pullbacks stamp
+    [dirty] {e before} publishing the status change that re-enables the
+    mutated transaction, so an admissible proof's reads postdate every
+    mutation of the frozen prefix. Committed is a terminal status:
+    [try_validation_abort] refuses it, freezing the prefix. [check_done]
+    stays as the termination backstop; DESIGN.md §8 has the full argument.
 
     Deviation from the paper's pseudo-code, documented in DESIGN.md §4:
     [try_incarnate] here is side-effect-free on [num_active_tasks]; each
@@ -25,6 +41,7 @@ type status_kind =
   | Executing
   | Executed
   | Aborting
+  | Committed
 
 let pp_status_kind ppf k =
   Fmt.string ppf
@@ -32,7 +49,8 @@ let pp_status_kind ppf k =
     | Ready_to_execute -> "READY_TO_EXECUTE"
     | Executing -> "EXECUTING"
     | Executed -> "EXECUTED"
-    | Aborting -> "ABORTING")
+    | Aborting -> "ABORTING"
+    | Committed -> "COMMITTED")
 
 type txn_state = {
   st_mutex : Mutex.t;
@@ -44,14 +62,20 @@ type dep_state = { dep_mutex : Mutex.t; mutable dependents : int list }
 
 type task =
   | Execution of Version.t
-  | Validation of Version.t
+  | Validation of Version.t * int
+      (** The [int] is the claim wave: the pullback counter observed when the
+          task was created, recorded into the commit proof on success. *)
 
 let pp_task ppf = function
   | Execution v -> Fmt.pf ppf "execute%a" Version.pp v
-  | Validation v -> Fmt.pf ppf "validate%a" Version.pp v
+  | Validation (v, w) -> Fmt.pf ppf "validate%a@@w%d" Version.pp v w
+
+(* No-proof sentinel: matches no incarnation (incarnations start at 0). *)
+let no_proof = (-1, -1)
 
 type t = {
   block_size : int;
+  rolling : bool;
   execution_idx : int Atomic.t;
   validation_idx : int Atomic.t;
   decrease_cnt : int Atomic.t;
@@ -59,12 +83,23 @@ type t = {
   done_marker : bool Atomic.t;
   status : txn_state array;
   deps : dep_state array;
+  (* Rolling-commit state. [pullback_marker] counts validation pullbacks;
+     [dirty.(j)] is the marker of the last pullback targeting an index <= j;
+     [proof.(j)] is the (incarnation, wave) of the last completed successful
+     validation of transaction j. All are cheap no-ops / dead stores when
+     [rolling] is false. *)
+  pullback_marker : int Atomic.t;
+  dirty : int Atomic.t array;
+  proof : (int * int) Atomic.t array;
+  commit_mutex : Mutex.t;
+  commit_idx : int Atomic.t;
 }
 
-let create ~block_size =
+let create ?(rolling = false) ~block_size () =
   if block_size < 0 then invalid_arg "Scheduler.create: negative block_size";
   {
     block_size;
+    rolling;
     execution_idx = Atomic.make 0;
     validation_idx = Atomic.make 0;
     decrease_cnt = Atomic.make 0;
@@ -80,9 +115,15 @@ let create ~block_size =
     deps =
       Array.init block_size (fun _ ->
           { dep_mutex = Mutex.create (); dependents = [] });
+    pullback_marker = Atomic.make 0;
+    dirty = Array.init block_size (fun _ -> Atomic.make 0);
+    proof = Array.init block_size (fun _ -> Atomic.make no_proof);
+    commit_mutex = Mutex.create ();
+    commit_idx = Atomic.make 0;
   }
 
 let block_size t = t.block_size
+let rolling t = t.rolling
 
 (* --- Algorithm 5: utility procedures ------------------------------------ *)
 
@@ -90,9 +131,25 @@ let decrease_execution_idx t ~target_idx =
   ignore (Atomic_util.fetch_min t.execution_idx target_idx);
   Atomic_util.incr t.decrease_cnt
 
+(* Stamp the pullback into the dirty array: every index >= target_idx may
+   have stale validation proofs from before this pullback's mutation. Must
+   run after the MVMemory mutation it reports and before the status change
+   that re-enables the mutated transaction (see module comment). *)
+let mark_dirty t ~target_idx : unit =
+  if t.rolling && target_idx < t.block_size then begin
+    let marker = 1 + Atomic_util.get_and_incr t.pullback_marker in
+    for k = target_idx to t.block_size - 1 do
+      ignore (Atomic_util.fetch_max t.dirty.(k) marker)
+    done
+  end
+
 let decrease_validation_idx t ~target_idx =
+  mark_dirty t ~target_idx;
   ignore (Atomic_util.fetch_min t.validation_idx target_idx);
   Atomic_util.incr t.decrease_cnt
+
+(* The wave a validation claimed now would carry. *)
+let current_wave t = Atomic.get t.pullback_marker
 
 (* Double-collect on [decrease_cnt]: reads are sequenced explicitly (OCaml
    application evaluates arguments right-to-left, so we avoid inline reads). *)
@@ -147,11 +204,15 @@ let next_version_to_execute t : Version.t option =
         Atomic_util.decr t.num_active_tasks;
         None)
 
-let next_version_to_validate t : Version.t option =
+(* The wave is read before the claim: the validation's reads happen later
+   still, so any pullback bumping the marker after this point only makes the
+   recorded proof conservative, never unsound. *)
+let next_version_to_validate t : (Version.t * int) option =
   if Atomic.get t.validation_idx >= t.block_size then (
     check_done t;
     None)
   else (
+    let wave = current_wave t in
     Atomic_util.incr t.num_active_tasks;
     let idx_to_validate = Atomic_util.get_and_incr t.validation_idx in
     let version =
@@ -165,7 +226,7 @@ let next_version_to_validate t : Version.t option =
       else None
     in
     match version with
-    | Some v -> Some v
+    | Some v -> Some (v, wave)
     | None ->
         Atomic_util.decr t.num_active_tasks;
         None)
@@ -175,7 +236,7 @@ let next_version_to_validate t : Version.t option =
 let next_task t : task option =
   if Atomic.get t.validation_idx < Atomic.get t.execution_idx then
     match next_version_to_validate t with
-    | Some v -> Some (Validation v)
+    | Some (v, wave) -> Some (Validation (v, wave))
     | None -> (
         match next_version_to_execute t with
         | Some v -> Some (Execution v)
@@ -197,7 +258,8 @@ let add_dependency t ~txn_idx ~blocking_txn_idx : bool =
   let d = t.deps.(blocking_txn_idx) in
   Mutex.lock d.dep_mutex;
   let resolved =
-    with_status t blocking_txn_idx (fun s -> s.kind = Executed)
+    with_status t blocking_txn_idx (fun s ->
+        s.kind = Executed || s.kind = Committed)
   in
   if resolved then (
     Mutex.unlock d.dep_mutex;
@@ -234,6 +296,13 @@ let resume_dependencies t (dependent_txn_indices : int list) : unit =
    revalidation). *)
 let finish_execution t ~txn_idx ~incarnation ~wrote_new_location : task option
     =
+  (* Dirty-stamp before publishing EXECUTED: a new write location may
+     invalidate any higher transaction's proof, and unlike the paper's lazy
+     commit this must be recorded even when the validation sweep has not yet
+     passed this transaction (a stale proof could otherwise be accepted by
+     the commit sweep). The validation_idx pullback itself stays conditional
+     below, exactly as in the paper. *)
+  if wrote_new_location then mark_dirty t ~target_idx:txn_idx;
   with_status t txn_idx (fun s ->
       assert (s.kind = Executing && s.incarnation = incarnation);
       s.kind <- Executed);
@@ -245,14 +314,18 @@ let finish_execution t ~txn_idx ~incarnation ~wrote_new_location : task option
   resume_dependencies t deps;
   if Atomic.get t.validation_idx > txn_idx then
     if wrote_new_location then (
-      (* Schedule validation for txn_idx and everything above it. *)
-      decrease_validation_idx t ~target_idx:txn_idx;
+      (* Schedule validation for txn_idx and everything above it. The dirty
+         stamp already happened above, pre-EXECUTED. *)
+      ignore (Atomic_util.fetch_min t.validation_idx txn_idx);
+      Atomic_util.incr t.decrease_cnt;
       Atomic_util.decr t.num_active_tasks;
       None)
     else
       (* Hand the single validation task to the caller; the active-task count
-         transfers to it. *)
-      Some (Validation (Version.make ~txn_idx ~incarnation))
+         transfers to it. The wave is read now, after the record: the
+         validation's re-reads observe at least the state this wave vouches
+         for. *)
+      Some (Validation (Version.make ~txn_idx ~incarnation, current_wave t))
   else (
     (* validation_idx <= txn_idx: revalidation is already on its way. *)
     Atomic_util.decr t.num_active_tasks;
@@ -261,7 +334,8 @@ let finish_execution t ~txn_idx ~incarnation ~wrote_new_location : task option
 (* --- Algorithm 9: validation aborts -------------------------------------- *)
 
 (* Only the first failing validation of a given version wins the abort:
-   EXECUTED(i) -> ABORTING(i). *)
+   EXECUTED(i) -> ABORTING(i). A COMMITTED transaction is final — a stale
+   in-flight validation that fails afterwards loses here, deterministically. *)
 let try_validation_abort t (version : Version.t) : bool =
   let txn_idx = Version.txn_idx version in
   let incarnation = Version.incarnation version in
@@ -271,11 +345,17 @@ let try_validation_abort t (version : Version.t) : bool =
         true)
       else false)
 
-let finish_validation t ~txn_idx ~aborted : task option =
+let finish_validation t ~version ~wave ~aborted : task option =
+  let txn_idx = Version.txn_idx version in
   if aborted then (
-    set_ready_status t txn_idx;
-    (* All higher transactions may have read the aborted writes. *)
+    (* All higher transactions may have read the aborted writes. The
+       pullback (and its dirty stamp) must land before the transaction is
+       re-enabled: once READY, the re-execution can be claimed, finished,
+       re-validated and committed — and the commit sweep may then read
+       [dirty] for higher transactions, which must already reflect this
+       abort. *)
     decrease_validation_idx t ~target_idx:(txn_idx + 1);
+    set_ready_status t txn_idx;
     if Atomic.get t.execution_idx > txn_idx then (
       match try_incarnate t txn_idx with
       | Some v ->
@@ -290,8 +370,89 @@ let finish_validation t ~txn_idx ~aborted : task option =
       Atomic_util.decr t.num_active_tasks;
       None))
   else (
+    (* Successful validation: record the commit proof. Proofs only ever
+       strengthen — higher incarnation, or same incarnation with a later
+       wave. A plain store would let a slow validation claimed before a
+       pullback complete late and clobber a fresh proof with a stale one;
+       with no further validation of this transaction scheduled, the commit
+       sweep would then stall forever. *)
+    let incarnation = Version.incarnation version in
+    let cell = t.proof.(txn_idx) in
+    let rec strengthen () =
+      let (pi, pw) as old = Atomic.get cell in
+      if
+        (incarnation > pi || (incarnation = pi && wave > pw))
+        && not (Atomic.compare_and_set cell old (incarnation, wave))
+      then strengthen ()
+    in
+    strengthen ();
     Atomic_util.decr t.num_active_tasks;
     None)
+
+(* --- Rolling commit sweep ------------------------------------------------- *)
+
+let committed_prefix t = Atomic.get t.commit_idx
+
+(* Commit rule for transaction j (under both commit_mutex and j's status
+   lock): EXECUTED, with a completed successful validation of the current
+   incarnation whose claim wave is at least dirty.(j). All i < j are already
+   COMMITTED (the sweep is in order), so the state j reads from is frozen;
+   the proof then certifies j's read-set against that frozen state. Setting
+   COMMITTED under the status lock excludes any racing validation abort. *)
+let sweep_commits t ~on_commit : int =
+  let committed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let j = Atomic.get t.commit_idx in
+    if j >= t.block_size then continue := false
+    else begin
+      let ok =
+        with_status t j (fun s ->
+            if s.kind = Executed then begin
+              let pi, pw = Atomic.get t.proof.(j) in
+              if pi = s.incarnation && pw >= Atomic.get t.dirty.(j) then begin
+                s.kind <- Committed;
+                true
+              end
+              else false
+            end
+            else false)
+      in
+      if ok then begin
+        on_commit j;
+        Atomic.set t.commit_idx (j + 1);
+        incr committed
+      end
+      else continue := false
+    end
+  done;
+  !committed
+
+let require_rolling t fn =
+  if not t.rolling then
+    invalid_arg (Printf.sprintf "Scheduler.%s: created without ~rolling:true" fn)
+
+(** Opportunistic commit sweep: advances [commit_idx] as far as the commit
+    rule allows, calling [on_commit j] for each newly committed transaction
+    in preset order (while holding the commit mutex, so hooks are totally
+    ordered). Non-blocking: returns 0 immediately when another thread holds
+    the commit mutex. Returns the number of transactions committed. *)
+let try_advance_commit t ~on_commit : int =
+  require_rolling t "try_advance_commit";
+  if Mutex.try_lock t.commit_mutex then begin
+    let n = sweep_commits t ~on_commit in
+    Mutex.unlock t.commit_mutex;
+    n
+  end
+  else 0
+
+(** Blocking variant of {!try_advance_commit}, for finalization. *)
+let advance_commit t ~on_commit : int =
+  require_rolling t "advance_commit";
+  Mutex.lock t.commit_mutex;
+  let n = sweep_commits t ~on_commit in
+  Mutex.unlock t.commit_mutex;
+  n
 
 (* --- Introspection (tests, simulator, metrics) --------------------------- *)
 

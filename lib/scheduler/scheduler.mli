@@ -1,17 +1,25 @@
-(** The collaborative scheduler (paper Algorithms 5–9).
+(** The collaborative scheduler (paper Algorithms 5–9), extended with a
+    rolling committed-prefix sweep.
 
     Tracks, for a block of [block_size] transactions, the ordered sets of
     pending execution and validation tasks, each implemented as an atomic
     counter plus the per-transaction status array. Thread-safe: any number
     of domains may call any function concurrently.
 
-    Lifecycle of a transaction's status (paper Figure 2):
+    Lifecycle of a transaction's status (paper Figure 2, plus the terminal
+    COMMITTED state of the rolling-commit extension):
     {v
       READY_TO_EXECUTE(i) -> EXECUTING(i) -> EXECUTED(i) -> ABORTING(i)
-             ^                    |                              |
-             |                    v (dependency)                 |
-             +---- incarnation i+1 <-----------------------------+
-    v} *)
+             ^                    |              |                |
+             |                    v (dependency) v (commit sweep) |
+             +---- incarnation i+1 <---------- COMMITTED ---------+
+                                               (terminal)
+    v}
+
+    The commit sweep (see {!try_advance_commit}) only exists when the
+    scheduler was created with [~rolling:true]; the default scheduler is
+    byte-for-byte the paper's, with the whole block committing at once when
+    {!done_} flips (Lemma 2). *)
 
 open Blockstm_kernel
 
@@ -20,23 +28,33 @@ type status_kind =
   | Executing
   | Executed
   | Aborting
+  | Committed  (** Terminal: set by the rolling-commit sweep, never aborts. *)
 
 val pp_status_kind : Format.formatter -> status_kind -> unit
 
-(** A schedulable unit of work for a specific transaction version. *)
+(** A schedulable unit of work for a specific transaction version. The
+    validation payload carries the {e claim wave} — the pullback counter
+    observed when the task was created — which a successful validation
+    records into the transaction's commit proof. *)
 type task =
   | Execution of Version.t
-  | Validation of Version.t
+  | Validation of Version.t * int
 
 val pp_task : Format.formatter -> task -> unit
 
 type t
 
-(** [create ~block_size] initializes the scheduler: every transaction is
-    [Ready_to_execute] at incarnation 0, both task counters at index 0. *)
-val create : block_size:int -> t
+(** [create ~block_size ()] initializes the scheduler: every transaction is
+    [Ready_to_execute] at incarnation 0, both task counters at index 0.
+    [rolling] (default [false]) enables the committed-prefix sweep; it adds
+    an O(block_size) dirty-stamping pass to every pullback, so leave it off
+    unless {!try_advance_commit} will be used. *)
+val create : ?rolling:bool -> block_size:int -> unit -> t
 
 val block_size : t -> int
+
+val rolling : t -> bool
+(** Whether this scheduler was created with [~rolling:true]. *)
 
 (** Claim the lowest-indexed available task, preferring validations when the
     validation counter trails the execution counter (Algorithm 7). [None]
@@ -54,7 +72,9 @@ val add_dependency : t -> txn_idx:int -> blocking_txn_idx:int -> bool
 
 (** [try_validation_abort t version] attempts EXECUTED(i) -> ABORTING(i).
     Only the first failing validation of a given version succeeds; all
-    others return [false] and must treat the abort as already handled. *)
+    others return [false] and must treat the abort as already handled. A
+    [Committed] transaction is final: late-failing stale validations lose
+    the race here deterministically. *)
 val try_validation_abort : t -> Version.t -> bool
 
 (** Publish the completion of an execution: resumes parked dependents and
@@ -65,11 +85,14 @@ val try_validation_abort : t -> Version.t -> bool
 val finish_execution :
   t -> txn_idx:int -> incarnation:int -> wrote_new_location:bool -> task option
 
-(** Publish the completion of a validation. If [aborted], bumps the
-    transaction to the next incarnation, pulls the validation counter back
-    to [txn_idx + 1], and — when possible — hands the re-execution task
-    straight back to the caller. *)
-val finish_validation : t -> txn_idx:int -> aborted:bool -> task option
+(** Publish the completion of a validation of [version]. [wave] is the claim
+    wave the validation task carried. If [aborted], bumps the transaction to
+    the next incarnation, pulls the validation counter back to
+    [txn_idx + 1], and — when possible — hands the re-execution task
+    straight back to the caller. Otherwise records the (incarnation, wave)
+    commit proof consumed by the rolling-commit sweep. *)
+val finish_validation :
+  t -> version:Version.t -> wave:int -> aborted:bool -> task option
 
 (** Whether the whole block is committed (Theorem 1): set by the
     double-collect in the internal [check_done], which runs whenever a
@@ -80,6 +103,31 @@ val done_ : t -> bool
     Exposed for the engine's task handoff; most callers want
     {!next_task}. No effect on the active-task count. *)
 val try_incarnate : t -> int -> Version.t option
+
+(** {2 Rolling commit} — only valid on schedulers created with
+    [~rolling:true]. *)
+
+val committed_prefix : t -> int
+(** Length of the committed prefix: transactions [0 .. committed_prefix - 1]
+    are final. Monotone; reaches [block_size] by the time {!done_} holds and
+    a final {!advance_commit} has run. *)
+
+val try_advance_commit : t -> on_commit:(int -> unit) -> int
+(** Opportunistic commit sweep: advances the committed prefix as far as the
+    commit rule allows — transaction [j] commits when it is [Executed] and
+    a completed successful validation of its current incarnation carries a
+    wave at least [dirty(j)] (no pullback targeting [<= j] happened after
+    the validation was claimed). Calls [on_commit j] for each newly
+    committed transaction in preset order, while holding the commit mutex
+    (hooks are totally ordered across domains). Non-blocking: returns 0
+    immediately if another domain holds the commit mutex. Returns the
+    number of transactions committed by this call.
+    @raise Invalid_argument if the scheduler is not rolling. *)
+
+val advance_commit : t -> on_commit:(int -> unit) -> int
+(** Blocking variant of {!try_advance_commit}, for finalization: after
+    {!done_} holds, one call commits every remaining transaction.
+    @raise Invalid_argument if the scheduler is not rolling. *)
 
 (** {2 Introspection} — used by tests, the simulator and metrics. *)
 

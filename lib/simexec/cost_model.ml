@@ -62,6 +62,7 @@ let of_event t (ev : Blockstm_kernel.Step_event.t) : float =
   | Exec_dependency { reads; _ } -> dep_abort_cost t ~reads
   | Validated { reads; _ } -> validation_cost t ~reads
   | Got_task | No_task -> t.sched
+  | Committed _ -> t.sched
 
 let pp ppf t =
   Fmt.pf ppf

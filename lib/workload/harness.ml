@@ -6,6 +6,7 @@
 open Ledger
 
 module Bstm = Blockstm_core.Block_stm.Make (Loc) (Value)
+module ChainX = Blockstm_chain.Chain.Make (Loc) (Value)
 module Seq = Blockstm_baselines.Sequential.Make (Loc) (Value)
 module BohmX = Blockstm_baselines.Bohm.Make (Loc) (Value)
 module LitmX = Blockstm_baselines.Litm.Make (Loc) (Value)
@@ -33,9 +34,9 @@ let equal_outputs (a : int Blockstm_kernel.Txn.output array)
 
 (** Run Block-STM on [num_domains] real domains. *)
 let run_blockstm ?(config = Bstm.default_config) ?declared_writes ?trace
-    ~storage txns =
-  Bstm.run ~config ?declared_writes ?trace ~storage:(Store.reader storage)
-    txns
+    ?on_commit ~storage txns =
+  Bstm.run ~config ?declared_writes ?trace ?on_commit
+    ~storage:(Store.reader storage) txns
 
 let run_sequential ~storage txns =
   Seq.run ~storage:(Store.reader storage) txns

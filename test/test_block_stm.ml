@@ -11,13 +11,14 @@ let run ?config ?declared_writes ~storage txns =
 
 let config ?(num_domains = 1) ?(use_estimates = true)
     ?(prevalidate_reads = true) ?(prefill_estimates = false)
-    ?(suspend_resume = false) () =
+    ?(suspend_resume = false) ?(rolling_commit = false) () =
   {
     Bstm.num_domains;
     use_estimates;
     prevalidate_reads;
     prefill_estimates;
     suspend_resume;
+    rolling_commit;
   }
 
 (* --- Basics -------------------------------------------------------------- *)
@@ -249,6 +250,67 @@ let test_invalid_num_domains () =
       ignore
         (run ~config:(config ~num_domains:0 ()) ~storage:zero_storage [||]))
 
+(* --- Rolling commit ------------------------------------------------------- *)
+
+let test_rolling_equals_sequential () =
+  let txns = contended_txns 120 in
+  List.iter
+    (fun nd ->
+      ignore
+        (assert_equiv
+           ~msg:(Printf.sprintf "rolling, %d domains" nd)
+           ~config:(config ~num_domains:nd ~rolling_commit:true ())
+           ~storage:zero_storage txns))
+    [ 1; 2; 4 ]
+
+let test_on_commit_streams_in_preset_order () =
+  let n = 80 in
+  let txns = Array.init n (fun i -> incr_txn (i mod 3)) in
+  let order = ref [] in
+  let streamed = Array.make n None in
+  let r =
+    Bstm.run
+      ~config:(config ~num_domains:4 ~rolling_commit:true ())
+      ~on_commit:(fun j o ->
+        order := j :: !order;
+        streamed.(j) <- Some o)
+      ~storage:zero_storage txns
+  in
+  Alcotest.(check (list int))
+    "hooks fire once per txn, in preset order"
+    (List.init n Fun.id) (List.rev !order);
+  (* The streamed outputs are the final outputs. *)
+  Array.iteri
+    (fun j o ->
+      match streamed.(j) with
+      | Some o' when Txn.equal_output Int.equal o o' -> ()
+      | _ -> Alcotest.failf "streamed output %d differs" j)
+    r.outputs;
+  Alcotest.(check int) "metrics.commits" n r.metrics.commits;
+  Alcotest.(check int) "commit_ns populated" n (Array.length r.commit_ns);
+  Array.iteri
+    (fun j ns ->
+      Alcotest.(check bool) (Printf.sprintf "tx%d stamped" j) true (ns >= 0))
+    r.commit_ns
+
+let test_on_commit_requires_rolling () =
+  Alcotest.check_raises "rejected"
+    (Invalid_argument "Block_stm: on_commit requires rolling_commit")
+    (fun () ->
+      ignore
+        (Bstm.run ~config:(config ()) ~on_commit:(fun _ _ -> ())
+           ~storage:zero_storage [| incr_txn 0 |]))
+
+let test_rolling_empty_block () =
+  let r =
+    Bstm.run
+      ~config:(config ~rolling_commit:true ())
+      ~on_commit:(fun _ _ -> Alcotest.fail "hook on empty block")
+      ~storage:zero_storage [||]
+  in
+  Alcotest.(check int) "no outputs" 0 (Array.length r.outputs);
+  Alcotest.(check int) "no stamps" 0 (Array.length r.commit_ns)
+
 (* --- Metrics and invariants ----------------------------------------------- *)
 
 let test_metrics_lower_bounds () =
@@ -335,6 +397,13 @@ let suite =
       test_prefill_requires_declared_writes;
     Alcotest.test_case "invalid num_domains rejected" `Quick
       test_invalid_num_domains;
+    Alcotest.test_case "rolling commit = sequential" `Quick
+      test_rolling_equals_sequential;
+    Alcotest.test_case "on_commit streams in preset order" `Quick
+      test_on_commit_streams_in_preset_order;
+    Alcotest.test_case "on_commit requires rolling_commit" `Quick
+      test_on_commit_requires_rolling;
+    Alcotest.test_case "rolling empty block" `Quick test_rolling_empty_block;
     Alcotest.test_case "metrics lower bounds" `Quick test_metrics_lower_bounds;
     Alcotest.test_case "engine quiescent after run" `Quick
       test_engine_quiescent_after_run;

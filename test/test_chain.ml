@@ -59,6 +59,63 @@ let test_suspend_resume_replica_agrees () =
   Alcotest.(check (option int)) "no divergence" None
     (Chain.first_divergence seq sr)
 
+let test_rolling_replica_agrees () =
+  let seq = run_chain Chain.Sequential 4 in
+  let roll =
+    run_chain
+      (Chain.Block_stm
+         {
+           Chain.Bstm.default_config with
+           num_domains = 4;
+           rolling_commit = true;
+         })
+      4
+  in
+  Alcotest.(check (option int)) "no divergence" None
+    (Chain.first_divergence seq roll)
+
+let blocks_of n_blocks = List.init n_blocks (fun i -> block_of_seed (i + 1))
+
+(* Pipelined mode overlaps block h's state-root computation with block h+1's
+   execution; the roots must be byte-identical to a plain sequential chain. *)
+let test_pipelined_roots_identical () =
+  let seq = run_chain Chain.Sequential 6 in
+  let run_pipelined executor =
+    let chain = Chain.create ~executor ~genesis:(genesis ()) () in
+    let commits = Chain.execute_blocks ~pipeline:true chain (blocks_of 6) in
+    Alcotest.(check int) "six commits returned" 6 (List.length commits);
+    chain
+  in
+  let p_seq = run_pipelined Chain.Sequential in
+  let p_par =
+    run_pipelined
+      (Chain.Block_stm { Chain.Bstm.default_config with num_domains = 4 })
+  in
+  let p_roll =
+    run_pipelined
+      (Chain.Block_stm
+         {
+           Chain.Bstm.default_config with
+           num_domains = 4;
+           rolling_commit = true;
+         })
+  in
+  Alcotest.(check (option int)) "pipelined sequential executor" None
+    (Chain.first_divergence seq p_seq);
+  Alcotest.(check (option int)) "pipelined block-stm" None
+    (Chain.first_divergence seq p_par);
+  Alcotest.(check (option int)) "pipelined rolling block-stm" None
+    (Chain.first_divergence seq p_roll);
+  Alcotest.(check int) "height" 6 (Chain.height p_par);
+  Alcotest.(check int) "commit count" 6 (List.length (Chain.commits p_par))
+
+let test_execute_blocks_unpipelined_matches_loop () =
+  let a = run_chain Chain.Sequential 3 in
+  let b = Chain.create ~executor:Chain.Sequential ~genesis:(genesis ()) () in
+  ignore (Chain.execute_blocks b (blocks_of 3));
+  Alcotest.(check (option int)) "same commits" None
+    (Chain.first_divergence a b)
+
 let test_divergence_detected () =
   let a = run_chain Chain.Sequential 3 in
   (* A replica that runs a different third block must diverge at height 3. *)
@@ -103,6 +160,12 @@ let suite =
       test_replicas_agree;
     Alcotest.test_case "suspend-resume replica agrees" `Quick
       test_suspend_resume_replica_agrees;
+    Alcotest.test_case "rolling-commit replica agrees" `Quick
+      test_rolling_replica_agrees;
+    Alcotest.test_case "pipelined roots identical to sequential" `Quick
+      test_pipelined_roots_identical;
+    Alcotest.test_case "execute_blocks = per-block loop" `Quick
+      test_execute_blocks_unpipelined_matches_loop;
     Alcotest.test_case "divergence detected at first bad height" `Quick
       test_divergence_detected;
     Alcotest.test_case "state roots change per block" `Quick

@@ -225,6 +225,60 @@ let test_snapshot_parallel_equals_sequential () =
         (Mv.snapshot_parallel ~num_domains:d mv))
     [ 1; 2; 4 ]
 
+(* --- Rolling-commit flush ------------------------------------------------- *)
+
+let test_flush_prunes_entries () =
+  let mv = Mv.create ~block_size:6 () in
+  ignore (record mv ~txn:0 ~inc:0 [ (1, 10); (2, 20) ]);
+  ignore (record mv ~txn:1 ~inc:0 [ (2, 21) ]);
+  ignore (record mv ~txn:4 ~inc:0 [ (2, 24) ]);
+  Alcotest.(check int) "before flush" 4 (Mv.entry_count mv);
+  Mv.flush_committed mv ~upto:2;
+  (* tx0 and tx1 fold into the committed base; only tx4's entry remains. *)
+  Alcotest.(check int) "after flush" 1 (Mv.entry_count mv);
+  Alcotest.(check int) "flushed_upto" 2 (Mv.flushed_upto mv);
+  (* Reads above the flushed prefix are unchanged: same value, same exact
+     version descriptor. *)
+  check_read "tx3 reads base at 2" mv 2 ~txn:3 (Mv.Ok (ver 1 0, 21));
+  check_read "tx2 reads base at 1" mv 1 ~txn:2 (Mv.Ok (ver 0 0, 10));
+  check_read "tx5 reads live chain" mv 2 ~txn:5 (Mv.Ok (ver 4 0, 24));
+  (* The base never leaks to transactions at or below its writer. *)
+  check_read "tx0 sees nothing" mv 1 ~txn:0 Mv.Not_found
+
+let test_flush_preserves_validation () =
+  let mv = Mv.create ~block_size:6 () in
+  ignore (record mv ~txn:1 ~inc:0 [ (7, 70) ]);
+  ignore (Mv.record mv (ver 3 0) (rs [ (7, Some (1, 0)); (8, None) ]) [||]);
+  Alcotest.(check bool) "valid before flush" true (Mv.validate_read_set mv 3);
+  Mv.flush_committed mv ~upto:3;
+  (* The flushed write keeps its version in the base, so tx3's read
+     descriptor still matches. *)
+  Alcotest.(check bool) "valid after flush" true (Mv.validate_read_set mv 3)
+
+let test_flush_idempotent_and_monotone () =
+  let mv = Mv.create ~block_size:4 () in
+  ignore (record mv ~txn:0 ~inc:0 [ (1, 1) ]);
+  ignore (record mv ~txn:2 ~inc:0 [ (1, 2) ]);
+  Mv.flush_committed mv ~upto:2;
+  let n = Mv.entry_count mv in
+  Mv.flush_committed mv ~upto:2;
+  Mv.flush_committed mv ~upto:1;
+  (* Re-flushing or flushing a shorter prefix changes nothing. *)
+  Alcotest.(check int) "entry_count stable" n (Mv.entry_count mv);
+  Alcotest.(check int) "flushed_upto monotone" 2 (Mv.flushed_upto mv)
+
+let test_committed_snapshot_after_full_flush () =
+  let mv = Mv.create ~block_size:4 () in
+  ignore (record mv ~txn:0 ~inc:0 [ (1, 10); (2, 20) ]);
+  ignore (record mv ~txn:1 ~inc:0 [ (2, 25) ]);
+  ignore (record mv ~txn:3 ~inc:0 [ (4, 40) ]);
+  let expected = Mv.snapshot mv in
+  Mv.flush_committed mv ~upto:4;
+  Alcotest.(check int) "all entries pruned" 0 (Mv.entry_count mv);
+  Alcotest.(check (list (pair int int)))
+    "committed snapshot = snapshot" expected
+    (Mv.committed_snapshot mv)
+
 (* --- Concurrency smoke --------------------------------------------------- *)
 
 (* Disjoint transactions recorded from four domains; snapshot must contain
@@ -287,6 +341,14 @@ let suite =
     Alcotest.test_case "snapshot: empty" `Quick test_snapshot_empty;
     Alcotest.test_case "snapshot: parallel = sequential" `Quick
       test_snapshot_parallel_equals_sequential;
+    Alcotest.test_case "flush: prunes committed entries" `Quick
+      test_flush_prunes_entries;
+    Alcotest.test_case "flush: validation unchanged" `Quick
+      test_flush_preserves_validation;
+    Alcotest.test_case "flush: idempotent and monotone" `Quick
+      test_flush_idempotent_and_monotone;
+    Alcotest.test_case "flush: committed snapshot after full flush" `Quick
+      test_committed_snapshot_after_full_flush;
     Alcotest.test_case "concurrent disjoint records" `Quick
       test_concurrent_disjoint_records;
   ]

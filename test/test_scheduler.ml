@@ -8,19 +8,31 @@ let ver t i = Blockstm_kernel.Version.make ~txn_idx:t ~incarnation:i
 
 let task_pp ppf = function
   | S.Execution v -> Fmt.pf ppf "Execution%a" Blockstm_kernel.Version.pp v
-  | S.Validation v -> Fmt.pf ppf "Validation%a" Blockstm_kernel.Version.pp v
+  | S.Validation (v, w) ->
+      Fmt.pf ppf "Validation%a@@w%d" Blockstm_kernel.Version.pp v w
 
+(* The claim wave of a validation task is an implementation detail of the
+   rolling-commit sweep; scripted expectations compare versions only. *)
 let task_eq a b =
   match (a, b) with
-  | S.Execution x, S.Execution y | S.Validation x, S.Validation y ->
+  | S.Execution x, S.Execution y -> Blockstm_kernel.Version.equal x y
+  | S.Validation (x, _), S.Validation (y, _) ->
       Blockstm_kernel.Version.equal x y
   | _ -> false
+
+(* Expected-value shorthand: the wave is ignored by [task_eq]. *)
+let validation v = S.Validation (v, 0)
+
+(* Complete a validation of [ver t i] on a non-rolling scheduler (where the
+   claim wave is always 0). *)
+let fin_val s t i ~aborted =
+  S.finish_validation s ~version:(ver t i) ~wave:0 ~aborted
 
 let task = Alcotest.testable task_pp task_eq
 let opt_task = Alcotest.option task
 
 let test_initial_state () =
-  let s = S.create ~block_size:4 in
+  let s = S.create ~block_size:4 () in
   Alcotest.(check int) "execution_idx" 0 (S.execution_idx s);
   Alcotest.(check int) "validation_idx" 0 (S.validation_idx s);
   Alcotest.(check int) "num_active" 0 (S.num_active_tasks s);
@@ -33,7 +45,7 @@ let test_initial_state () =
     (Array.make 4 ())
 
 let test_initial_tasks_are_executions_in_order () =
-  let s = S.create ~block_size:3 in
+  let s = S.create ~block_size:3 () in
   Alcotest.check opt_task "tx0" (Some (S.Execution (ver 0 0))) (S.next_task s);
   Alcotest.check opt_task "tx1" (Some (S.Execution (ver 1 0))) (S.next_task s);
   Alcotest.check opt_task "tx2" (Some (S.Execution (ver 2 0))) (S.next_task s);
@@ -43,7 +55,7 @@ let test_initial_tasks_are_executions_in_order () =
   Alcotest.(check bool) "not done while active" false (S.done_ s)
 
 let test_execute_then_validate_then_done () =
-  let s = S.create ~block_size:2 in
+  let s = S.create ~block_size:2 () in
   let t0 = S.next_task s and t1 = S.next_task s in
   Alcotest.check opt_task "exec 0" (Some (S.Execution (ver 0 0))) t0;
   Alcotest.check opt_task "exec 1" (Some (S.Execution (ver 1 0))) t1;
@@ -57,27 +69,27 @@ let test_execute_then_validate_then_done () =
     (S.finish_execution s ~txn_idx:1 ~incarnation:0 ~wrote_new_location:true);
   Alcotest.(check int) "no active tasks" 0 (S.num_active_tasks s);
   (* Validations now flow in index order. *)
-  Alcotest.check opt_task "val 0" (Some (S.Validation (ver 0 0)))
+  Alcotest.check opt_task "val 0" (Some (validation (ver 0 0)))
     (S.next_task s);
-  Alcotest.check opt_task "val 1" (Some (S.Validation (ver 1 0)))
+  Alcotest.check opt_task "val 1" (Some (validation (ver 1 0)))
     (S.next_task s);
   Alcotest.check opt_task "nothing after" None
-    (S.finish_validation s ~txn_idx:0 ~aborted:false);
+    (fin_val s 0 0 ~aborted:false);
   Alcotest.check opt_task "nothing after" None
-    (S.finish_validation s ~txn_idx:1 ~aborted:false);
+    (fin_val s 1 0 ~aborted:false);
   (* All indices beyond block, no active tasks: done flips on next poll. *)
   Alcotest.check opt_task "final poll" None (S.next_task s);
   Alcotest.(check bool) "done" true (S.done_ s)
 
 let test_finish_execution_handoff_no_new_location () =
-  let s = S.create ~block_size:1 in
+  let s = S.create ~block_size:1 () in
   ignore (S.next_task s);
   ignore (S.finish_execution s ~txn_idx:0 ~incarnation:0
             ~wrote_new_location:false);
   ignore (S.next_task s);
   (* Validation of (0,0) claimed; abort it to force re-execution. *)
   Alcotest.(check bool) "abort wins" true (S.try_validation_abort s (ver 0 0));
-  let re = S.finish_validation s ~txn_idx:0 ~aborted:true in
+  let re = fin_val s 0 0 ~aborted:true in
   Alcotest.check opt_task "re-execution handed back"
     (Some (S.Execution (ver 0 1)))
     re;
@@ -87,15 +99,15 @@ let test_finish_execution_handoff_no_new_location () =
     S.finish_execution s ~txn_idx:0 ~incarnation:1 ~wrote_new_location:false
   in
   Alcotest.check opt_task "validation handed back"
-    (Some (S.Validation (ver 0 1)))
+    (Some (validation (ver 0 1)))
     v;
   Alcotest.check opt_task "validation done" None
-    (S.finish_validation s ~txn_idx:0 ~aborted:false);
+    (fin_val s 0 1 ~aborted:false);
   ignore (S.next_task s);
   Alcotest.(check bool) "done" true (S.done_ s)
 
 let test_abort_lowers_validation_idx () =
-  let s = S.create ~block_size:3 in
+  let s = S.create ~block_size:3 () in
   for _ = 1 to 3 do ignore (S.next_task s) done;
   for i = 0 to 2 do
     ignore
@@ -107,28 +119,28 @@ let test_abort_lowers_validation_idx () =
   ignore claimed;
   (* tx1 fails validation. *)
   Alcotest.(check bool) "abort" true (S.try_validation_abort s (ver 1 0));
-  let re = S.finish_validation s ~txn_idx:1 ~aborted:true in
+  let re = fin_val s 1 0 ~aborted:true in
   Alcotest.check opt_task "re-exec handed back" (Some (S.Execution (ver 1 1)))
     re;
   (* Validation index must have been pulled back to txn+1 = 2. *)
   Alcotest.(check int) "validation idx lowered" 2 (S.validation_idx s);
   (* Finish remaining validations and the re-execution. *)
-  ignore (S.finish_validation s ~txn_idx:0 ~aborted:false);
-  ignore (S.finish_validation s ~txn_idx:2 ~aborted:false);
+  ignore (fin_val s 0 0 ~aborted:false);
+  ignore (fin_val s 2 0 ~aborted:false);
   ignore
     (S.finish_execution s ~txn_idx:1 ~incarnation:1 ~wrote_new_location:true);
   (* tx1's new incarnation and tx2 must be re-validated. *)
-  Alcotest.check opt_task "re-validate tx1" (Some (S.Validation (ver 1 1)))
+  Alcotest.check opt_task "re-validate tx1" (Some (validation (ver 1 1)))
     (S.next_task s);
-  Alcotest.check opt_task "re-validate tx2" (Some (S.Validation (ver 2 0)))
+  Alcotest.check opt_task "re-validate tx2" (Some (validation (ver 2 0)))
     (S.next_task s);
-  ignore (S.finish_validation s ~txn_idx:1 ~aborted:false);
-  ignore (S.finish_validation s ~txn_idx:2 ~aborted:false);
+  ignore (fin_val s 1 1 ~aborted:false);
+  ignore (fin_val s 2 0 ~aborted:false);
   ignore (S.next_task s);
   Alcotest.(check bool) "done" true (S.done_ s)
 
 let test_validation_abort_only_once () =
-  let s = S.create ~block_size:1 in
+  let s = S.create ~block_size:1 () in
   ignore (S.next_task s);
   ignore
     (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
@@ -139,7 +151,7 @@ let test_validation_abort_only_once () =
     (S.try_validation_abort s (ver 0 0))
 
 let test_validation_abort_wrong_incarnation () =
-  let s = S.create ~block_size:1 in
+  let s = S.create ~block_size:1 () in
   ignore (S.next_task s);
   ignore
     (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
@@ -149,14 +161,14 @@ let test_validation_abort_wrong_incarnation () =
     (S.try_validation_abort s (ver 0 5))
 
 let test_validation_abort_requires_executed () =
-  let s = S.create ~block_size:2 in
+  let s = S.create ~block_size:2 () in
   ignore (S.next_task s);
   (* tx0 still EXECUTING. *)
   Alcotest.(check bool) "not executed yet" false
     (S.try_validation_abort s (ver 0 0))
 
 let test_add_dependency_on_executed_returns_false () =
-  let s = S.create ~block_size:2 in
+  let s = S.create ~block_size:2 () in
   ignore (S.next_task s);
   ignore (S.next_task s);
   ignore
@@ -168,7 +180,7 @@ let test_add_dependency_on_executed_returns_false () =
   Alcotest.(check bool) "tx1 still executing" true (kind = S.Executing)
 
 let test_add_dependency_parks_and_resumes () =
-  let s = S.create ~block_size:2 in
+  let s = S.create ~block_size:2 () in
   ignore (S.next_task s);
   (* tx0 executing *)
   ignore (S.next_task s);
@@ -190,12 +202,12 @@ let test_add_dependency_parks_and_resumes () =
   Alcotest.(check bool) "execution idx lowered" true (S.execution_idx s <= 1)
 
 let test_done_empty_block () =
-  let s = S.create ~block_size:0 in
+  let s = S.create ~block_size:0 () in
   Alcotest.check opt_task "no task" None (S.next_task s);
   Alcotest.(check bool) "done immediately" true (S.done_ s)
 
 let test_num_active_never_negative_scripted () =
-  let s = S.create ~block_size:2 in
+  let s = S.create ~block_size:2 () in
   let check () =
     Alcotest.(check bool) "non-negative" true (S.num_active_tasks s >= 0)
   in
@@ -211,10 +223,10 @@ let test_num_active_never_negative_scripted () =
   check ();
   ignore (S.next_task s);
   check ();
-  ignore (S.finish_validation s ~txn_idx:0 ~aborted:false);
+  ignore (fin_val s 0 0 ~aborted:false);
   check ();
   ignore (S.next_task s);
-  ignore (S.finish_validation s ~txn_idx:1 ~aborted:false);
+  ignore (fin_val s 1 0 ~aborted:false);
   check ();
   ignore (S.next_task s);
   Alcotest.(check int) "zero at completion" 0 (S.num_active_tasks s)
@@ -225,7 +237,7 @@ let test_num_active_never_negative_scripted () =
    Line 130) — those pre-validations no-op but the index races ahead, so a
    later finish_execution must pull it back and tick the counter. *)
 let test_decrease_cnt_ticks () =
-  let s = S.create ~block_size:3 in
+  let s = S.create ~block_size:3 () in
   for _ = 1 to 3 do ignore (S.next_task s) done;
   (* The interleaved claims above advanced validation_idx past 0. *)
   Alcotest.(check bool) "validation idx raced ahead" true
@@ -248,8 +260,133 @@ let test_decrease_cnt_ticks () =
   (* validate tx1 *)
   let c1 = S.decrease_cnt s in
   Alcotest.(check bool) "abort" true (S.try_validation_abort s (ver 1 0));
-  ignore (S.finish_validation s ~txn_idx:1 ~aborted:true);
+  ignore (fin_val s 1 0 ~aborted:true);
   Alcotest.(check bool) "tick on abort" true (S.decrease_cnt s > c1)
+
+(* --- Rolling commit ------------------------------------------------------- *)
+
+(* Claim wave of a validation task handed out by the scheduler. *)
+let claim_validation s =
+  match S.next_task s with
+  | Some (S.Validation (v, w)) -> (v, w)
+  | t -> Alcotest.failf "expected a validation, got %a" (Fmt.option task_pp) t
+
+let sweep s commits =
+  ignore (S.try_advance_commit s ~on_commit:(fun j -> commits := j :: !commits))
+
+(* Validations completing out of preset order: the sweep must still commit
+   0, 1, 2 in order, and only once each transaction's proof is in. *)
+let test_rolling_commit_preset_order () =
+  let s = S.create ~rolling:true ~block_size:3 () in
+  for _ = 1 to 3 do ignore (S.next_task s) done;
+  for i = 0 to 2 do
+    ignore
+      (S.finish_execution s ~txn_idx:i ~incarnation:0 ~wrote_new_location:true)
+  done;
+  Alcotest.(check int) "nothing committed yet" 0 (S.committed_prefix s);
+  let waves = Array.make 3 0 in
+  for _ = 1 to 3 do
+    let v, w = claim_validation s in
+    waves.(Blockstm_kernel.Version.txn_idx v) <- w
+  done;
+  let commits = ref [] in
+  (* tx2's proof alone cannot commit anything: tx0 has no proof. *)
+  ignore (S.finish_validation s ~version:(ver 2 0) ~wave:waves.(2) ~aborted:false);
+  sweep s commits;
+  Alcotest.(check int) "tx2 alone commits nothing" 0 (S.committed_prefix s);
+  ignore (S.finish_validation s ~version:(ver 0 0) ~wave:waves.(0) ~aborted:false);
+  sweep s commits;
+  Alcotest.(check int) "tx0 committed" 1 (S.committed_prefix s);
+  ignore (S.finish_validation s ~version:(ver 1 0) ~wave:waves.(1) ~aborted:false);
+  sweep s commits;
+  Alcotest.(check int) "all committed" 3 (S.committed_prefix s);
+  Alcotest.(check (list int)) "hooks in preset order" [ 0; 1; 2 ]
+    (List.rev !commits);
+  for i = 0 to 2 do
+    let _, kind = S.status s i in
+    Alcotest.(check bool)
+      (Printf.sprintf "tx%d COMMITTED" i)
+      true (kind = S.Committed)
+  done
+
+(* A pullback after a validation was claimed invalidates its proof: the
+   commit sweep must refuse the stale wave until a fresh validation lands. *)
+let test_rolling_stale_wave_rejected () =
+  let s = S.create ~rolling:true ~block_size:2 () in
+  ignore (S.next_task s);
+  ignore (S.next_task s);
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  ignore
+    (S.finish_execution s ~txn_idx:1 ~incarnation:0 ~wrote_new_location:true);
+  let v0, w0 = claim_validation s in
+  let v1, w1 = claim_validation s in
+  (* tx0 fails: the pullback stamps tx1 dirty past w1. *)
+  Alcotest.(check bool) "abort tx0" true (S.try_validation_abort s v0);
+  let re = S.finish_validation s ~version:v0 ~wave:w0 ~aborted:true in
+  Alcotest.check opt_task "re-execution handed back"
+    (Some (S.Execution (ver 0 1)))
+    re;
+  (* tx1's validation completes successfully — but its claim predates the
+     pullback, so the proof is stale and must not commit. *)
+  ignore (S.finish_validation s ~version:v1 ~wave:w1 ~aborted:false);
+  let commits = ref [] in
+  sweep s commits;
+  Alcotest.(check int) "stale proof refused" 0 (S.committed_prefix s);
+  (* tx0's re-execution completes and revalidates: tx0 commits. *)
+  let hv =
+    S.finish_execution s ~txn_idx:0 ~incarnation:1 ~wrote_new_location:false
+  in
+  (match hv with
+  | Some (S.Validation (v, w)) ->
+      ignore (S.finish_validation s ~version:v ~wave:w ~aborted:false)
+  | t -> Alcotest.failf "expected validation handoff, got %a"
+           (Fmt.option task_pp) t);
+  sweep s commits;
+  Alcotest.(check int) "tx0 committed" 1 (S.committed_prefix s);
+  (* The pullback rescheduled tx1's validation; a fresh claim carries a wave
+     past the dirty stamp and finally commits tx1. *)
+  let v1', w1' = claim_validation s in
+  Alcotest.(check bool) "same version revalidated" true
+    (Blockstm_kernel.Version.equal v1' (ver 1 0));
+  ignore (S.finish_validation s ~version:v1' ~wave:w1' ~aborted:false);
+  sweep s commits;
+  Alcotest.(check int) "tx1 committed" 2 (S.committed_prefix s);
+  Alcotest.(check (list int)) "hooks in preset order" [ 0; 1 ]
+    (List.rev !commits);
+  (* Committed is terminal: a late stale validation cannot abort it. *)
+  Alcotest.(check bool) "abort refused after commit" false
+    (S.try_validation_abort s (ver 1 0))
+
+(* Overlapping validations of one version can complete out of claim order:
+   a stale one landing last must not weaken the recorded proof (the commit
+   sweep would otherwise stall forever — no further validation is ever
+   scheduled for the transaction). *)
+let test_rolling_proof_strengthen_only () =
+  let s = S.create ~rolling:true ~block_size:1 () in
+  ignore (S.next_task s);
+  ignore
+    (S.finish_execution s ~txn_idx:0 ~incarnation:0 ~wrote_new_location:true);
+  let v, w = claim_validation s in
+  ignore (S.finish_validation s ~version:v ~wave:w ~aborted:false);
+  (* A second validation of the same version, claimed one wave earlier,
+     completes late. *)
+  ignore (S.finish_validation s ~version:v ~wave:(w - 1) ~aborted:false);
+  let commits = ref [] in
+  sweep s commits;
+  Alcotest.(check int) "fresh proof survives" 1 (S.committed_prefix s)
+
+let test_rolling_requires_flag () =
+  let s = S.create ~block_size:1 () in
+  Alcotest.check_raises "try_advance_commit rejected"
+    (Invalid_argument
+       "Scheduler.try_advance_commit: created without ~rolling:true")
+    (fun () -> ignore (S.try_advance_commit s ~on_commit:ignore));
+  Alcotest.check_raises "advance_commit rejected"
+    (Invalid_argument
+       "Scheduler.advance_commit: created without ~rolling:true")
+    (fun () -> ignore (S.advance_commit s ~on_commit:ignore));
+  Alcotest.(check bool) "rolling flag off" false (S.rolling s)
 
 let suite =
   [
@@ -278,4 +415,12 @@ let suite =
       test_num_active_never_negative_scripted;
     Alcotest.test_case "decrease_cnt ticks on index decreases" `Quick
       test_decrease_cnt_ticks;
+    Alcotest.test_case "rolling: commits in preset order" `Quick
+      test_rolling_commit_preset_order;
+    Alcotest.test_case "rolling: stale wave rejected after pullback" `Quick
+      test_rolling_stale_wave_rejected;
+    Alcotest.test_case "rolling: proofs are strengthen-only" `Quick
+      test_rolling_proof_strengthen_only;
+    Alcotest.test_case "rolling: sweep requires ~rolling:true" `Quick
+      test_rolling_requires_flag;
   ]

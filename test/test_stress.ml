@@ -117,6 +117,63 @@ let test_quiescence_under_stress () =
   let r = Bstm.finalize inst in
   Alcotest.(check bool) "snapshot computable" true (r.snapshot <> [])
 
+(* Rolling commit under real contention: while workers run, a monitor domain
+   polls the committed prefix — it must only ever grow — and the on_commit
+   stream must be exactly 0..n-1 in preset order. *)
+let test_rolling_commit_stress () =
+  let rng = Blockstm_workload.Rng.create 909 in
+  let n = 400 in
+  let txns =
+    Array.init n (fun _ ->
+        let a = Blockstm_workload.Rng.int rng 4 in
+        let b = Blockstm_workload.Rng.int rng 4 in
+        rmw ~src:a ~dst:b (fun v -> (v * 7) + 3))
+  in
+  let seq = Seq.run ~storage:zero_storage txns in
+  for rep = 1 to 3 do
+    let order = ref [] in
+    let config = { (domains_cfg 4) with rolling_commit = true } in
+    let inst =
+      Bstm.create_instance ~config
+        ~on_commit:(fun j _ -> order := j :: !order)
+        ~storage:zero_storage txns
+    in
+    let stop = Atomic.make false in
+    let monotone = Atomic.make true in
+    let monitor =
+      Domain.spawn (fun () ->
+          let last = ref 0 in
+          while not (Atomic.get stop) do
+            let p = Bstm.committed_prefix inst in
+            if p < !last then Atomic.set monotone false;
+            last := max !last p;
+            Domain.cpu_relax ()
+          done)
+    in
+    let workers =
+      Array.init 3 (fun _ -> Domain.spawn (fun () -> Bstm.worker_loop inst))
+    in
+    Bstm.worker_loop inst;
+    Array.iter Domain.join workers;
+    let r = Bstm.finalize inst in
+    Atomic.set stop true;
+    Domain.join monitor;
+    Alcotest.(check bool)
+      (Printf.sprintf "rep %d: prefix monotone" rep)
+      true (Atomic.get monotone);
+    Alcotest.(check int)
+      (Printf.sprintf "rep %d: prefix complete" rep)
+      n
+      (Bstm.committed_prefix inst);
+    Alcotest.(check bool)
+      (Printf.sprintf "rep %d: snapshot" rep)
+      true
+      (r.snapshot = seq.snapshot);
+    Alcotest.(check (list int))
+      (Printf.sprintf "rep %d: commit order" rep)
+      (List.init n Fun.id) (List.rev !order)
+  done
+
 (* Virtual-time liveness at scale: a huge thread count against a tiny,
    fully-conflicting block must still converge (idle fast-forward path). *)
 let test_sim_more_threads_than_work () =
@@ -164,6 +221,8 @@ let suite =
     Alcotest.test_case "failure storm" `Quick test_failure_storm;
     Alcotest.test_case "quiescence under stress" `Quick
       test_quiescence_under_stress;
+    Alcotest.test_case "rolling commit under contention" `Quick
+      test_rolling_commit_stress;
     Alcotest.test_case "64 virtual threads, 30 txns" `Quick
       test_sim_more_threads_than_work;
     Alcotest.test_case "zipfian contention sweep" `Quick test_zipfian_sweep;

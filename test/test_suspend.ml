@@ -54,7 +54,7 @@ let test_scripted_suspension_and_resume () =
     | _ -> false
   in
   let is_val i = function
-    | Scheduler.Validation v -> Version.txn_idx v = i
+    | Scheduler.Validation (v, _) -> Version.txn_idx v = i
     | _ -> false
   in
   (* Run a task to completion, chaining any handed-back follow-up task

@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full local CI gate: build, run every test, and check the odoc build
+# is warning-free. This is exactly what a PR must keep green.
+# Usage: tools/ci.sh   (run from the repository root)
+set -eu
+dune build
+dune runtest
+tools/check_doc.sh
+echo "ci: all checks passed"
