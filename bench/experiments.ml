@@ -415,6 +415,126 @@ let real mode =
     [ 1; 2; 4 ];
   Report.emit_table t
 
+(* --- Scaling: real-domain throughput curve (regression surface) ------------ *)
+
+(* Domain counts swept by the [scaling] experiment. Overridable (bench
+   --domains / blockstm exp --domains / BLOCKSTM_BENCH_DOMAINS) so a
+   multi-core host can sweep further than this machine's default. *)
+let domains_grid = ref [ 1; 2; 4 ]
+
+let set_domains_grid = function [] -> () | l -> domains_grid := l
+
+(** The domains-vs-tps curve on real domains, low contention: the workloads
+    where Block-STM should scale near-linearly (paper Fig. 3, 10k accounts).
+    Unlike [real]/[minimove] this records per-domain-count samples under
+    stable labels ([scaling/<workload>/bstm/domains=N]), making the curve a
+    tracked regression surface: tools/ci.sh fails on multi-core hosts if the
+    4-domain point drops below the 1-domain point. *)
+let scaling mode =
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Scaling: real-domain throughput, low contention (wall clock; \
+            this host reports %d recommended domains)"
+           (Domain.recommended_domain_count ()))
+      ~header:[ "workload"; "executor"; "domains"; "tps"; "vs 1-domain" ]
+  in
+  let record ~workload ~executor ~domains ~base tps =
+    Report.sample
+      ~label:(Printf.sprintf "scaling/%s/%s/domains=%d" workload executor domains)
+      tps;
+    T.add_row t
+      [
+        workload;
+        executor;
+        string_of_int domains;
+        fmt_tps tps;
+        (match base with None -> "-" | Some b -> fmt_x (tps /. b));
+      ]
+  in
+  (* Low-contention p2p with artificial per-txn work, so the measurement is
+     dominated by transaction execution rather than harness overhead. *)
+  let block = match mode with Quick -> 2_000 | Full -> 10_000 in
+  let spec =
+    {
+      (p2p_spec ~flavor:P2p.Standard ~accounts:10_000 ~block ~seed:42) with
+      work = 100_000;
+    }
+  in
+  let w = P2p.generate spec in
+  let time f =
+    let _, ns = Blockstm_stats.Clock.time_ns f in
+    Blockstm_stats.Clock.tps ~txns:block ~elapsed_ns:ns
+  in
+  let seq =
+    time (fun () -> ignore (Harness.run_sequential ~storage:w.storage w.txns))
+  in
+  record ~workload:"p2p-low" ~executor:"seq" ~domains:1 ~base:None seq;
+  let p2p_base = ref None in
+  List.iter
+    (fun domains ->
+      let tps =
+        time (fun () ->
+            ignore
+              (Harness.run_blockstm
+                 ~config:
+                   { Harness.Bstm.default_config with num_domains = domains }
+                 ~storage:w.storage w.txns))
+      in
+      if !p2p_base = None then p2p_base := Some tps;
+      record ~workload:"p2p-low" ~executor:"bstm" ~domains ~base:!p2p_base tps)
+    !domains_grid;
+  (* MiniMove coin transfers over many accounts: the real-interpreter
+     workload, still low contention. *)
+  let open Blockstm_minimove in
+  let mblock = match mode with Quick -> 1_000 | Full -> 5_000 in
+  let n_accounts = 1_000 in
+  let coin = Interp.compile Stdlib_contracts.coin_source in
+  let store = Runtime.coin_genesis ~num_accounts:n_accounts () in
+  let rng = Rng.create 7 in
+  let next_seq = Array.make (n_accounts + 1) 0 in
+  let txns =
+    Array.init mblock (fun _ ->
+        let s, r = Rng.distinct_pair rng n_accounts in
+        let sender = s + 1 and recipient = r + 1 in
+        let seq = next_seq.(sender) in
+        next_seq.(sender) <- seq + 1;
+        Interp.txn coin
+          ~args:
+            Mv_value.
+              [
+                Value.Addr sender;
+                Value.Addr recipient;
+                Value.Int (1 + Rng.int rng 10);
+                Value.Int seq;
+              ])
+  in
+  let mtime f =
+    let _, ns = Blockstm_stats.Clock.time_ns f in
+    Blockstm_stats.Clock.tps ~txns:mblock ~elapsed_ns:ns
+  in
+  let mseq =
+    mtime (fun () ->
+        ignore (Runtime.Seq.run ~storage:(Runtime.Store.reader store) txns))
+  in
+  record ~workload:"minimove" ~executor:"seq" ~domains:1 ~base:None mseq;
+  let mm_base = ref None in
+  List.iter
+    (fun domains ->
+      let tps =
+        mtime (fun () ->
+            ignore
+              (Runtime.Bstm.run
+                 ~config:
+                   { Runtime.Bstm.default_config with num_domains = domains }
+                 ~storage:(Runtime.Store.reader store) txns))
+      in
+      if !mm_base = None then mm_base := Some tps;
+      record ~workload:"minimove" ~executor:"bstm" ~domains ~base:!mm_base tps)
+    !domains_grid;
+  Report.emit_table t
+
 (* --- Rolling commit: time-to-commit latency --------------------------------- *)
 
 let commit_latency mode =
@@ -544,6 +664,7 @@ let all : (string * string * (mode -> unit)) list =
     ("ablations", "Design-choice ablations", ablations);
     ("gas-sharding", "Gas metering: single vs sharded counter (§7)", gas_sharding);
     ("real", "Real-domain wall-clock on this machine", real);
+    ("scaling", "Real-domain scaling curve, low contention", scaling);
     ("commit-latency", "Rolling commit: time-to-commit percentiles", commit_latency);
     ("minimove", "MiniMove interpreter end-to-end", minimove);
   ]

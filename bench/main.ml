@@ -7,9 +7,30 @@
      dune exec bench/main.exe -- micro        # bechamel micro-benches only
      dune exec bench/main.exe -- --json BENCH_blockstm.json
                                               # also write a JSON report
+     dune exec bench/main.exe -- scaling --domains 1,2,4,8
+                                              # sweep real domain counts
 
    See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
    paper-vs-measured results. *)
+
+let parse_domains s =
+  match
+    String.split_on_char ',' s
+    |> List.map (fun part -> int_of_string_opt (String.trim part))
+    |> List.map (function Some d when d >= 1 -> Some d | _ -> None)
+    |> List.fold_left
+         (fun acc d ->
+           match (acc, d) with
+           | Some acc, Some d -> Some (d :: acc)
+           | _ -> None)
+         (Some [])
+  with
+  | Some l when l <> [] -> List.rev l
+  | _ ->
+      Printf.eprintf
+        "--domains expects a comma-separated list of positive ints, got %S\n"
+        s;
+      exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -22,8 +43,18 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip_json rest
+    | [ "--domains" ] ->
+        prerr_endline "--domains needs a comma-separated list argument";
+        exit 2
+    | "--domains" :: spec :: rest ->
+        Blockstm_bench.Experiments.set_domains_grid (parse_domains spec);
+        strip_json rest
     | a :: rest -> a :: strip_json rest
   in
+  (match Sys.getenv_opt "BLOCKSTM_BENCH_DOMAINS" with
+  | Some spec ->
+      Blockstm_bench.Experiments.set_domains_grid (parse_domains spec)
+  | None -> ());
   let args = strip_json args in
   let mode =
     if List.mem "--full" args || Sys.getenv_opt "BLOCKSTM_BENCH_FULL" <> None

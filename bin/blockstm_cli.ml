@@ -402,8 +402,8 @@ let exp_cmd =
       value & opt_all string []
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
-                gas-sharding, real, commit-latency, minimove, micro). \
-                Repeatable; default: all.")
+                gas-sharding, real, scaling, commit-latency, minimove, \
+                micro). Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
@@ -415,7 +415,21 @@ let exp_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the experiment tables as a JSON report.")
   in
-  let action ids full json =
+  let domains =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "domains" ] ~docv:"N,N,..."
+          ~doc:
+            "Real domain counts swept by the $(b,scaling) experiment \
+             (default 1,2,4).")
+  in
+  let action ids full json domains =
+    (match domains with
+    | Some l when List.for_all (fun d -> d >= 1) l ->
+        Blockstm_bench.Experiments.set_domains_grid l
+    | Some _ -> Fmt.epr "--domains entries must be >= 1; ignoring@."
+    | None -> ());
     let mode =
       if full then Blockstm_bench.Experiments.Full
       else Blockstm_bench.Experiments.Quick
@@ -433,7 +447,7 @@ let exp_cmd =
     if want "micro" && ids <> [] then Blockstm_bench.Micro.run ();
     Option.iter Blockstm_bench.Report.write json
   in
-  let term = Term.(const action $ ids $ full $ json) in
+  let term = Term.(const action $ ids $ full $ json $ domains) in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's figures and tables")
     term

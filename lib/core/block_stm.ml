@@ -94,6 +94,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             flushed out of MVMemory into a committed-base table, and
             [on_commit] hooks fire per transaction in preset order. Default
             [false]: paper-faithful behavior, byte-identical results. *)
+    mv_nshards : int;
+        (** Hash shards in the MVMemory location index (default 64). Exposed
+            so bench can sweep the sharding factor. *)
   }
 
   let default_config =
@@ -104,6 +107,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       prefill_estimates = false;
       suspend_resume = false;
       rolling_commit = false;
+      mv_nshards = 64;
     }
 
   type 'o result = {
@@ -166,9 +170,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   and 'o suspension = {
     s_resume : (unit, 'o vm_outcome) Effect.Deep.continuation;
-    s_prefix : (L.t * Read_origin.t) list;
-        (** Read log at suspension time (reverse order): must still validate
-            before the continuation may be resumed. *)
+    s_prefix : (L.t * Read_origin.t) array;
+        (** Read log at suspension time: must still validate before the
+            continuation may be resumed. *)
   }
 
   (** Outcome of running (or resuming) the VM for one incarnation. *)
@@ -201,7 +205,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Some tr when Trace.num_workers tr < config.num_domains ->
         invalid_arg "Block_stm: trace has fewer workers than num_domains"
     | _ -> ());
-    let mv = Mv.create ~block_size:n () in
+    if config.mv_nshards < 1 then
+      invalid_arg "Block_stm: mv_nshards must be >= 1";
+    let mv = Mv.create ~nshards:config.mv_nshards ~block_size:n () in
     (if config.prefill_estimates then
        match declared_writes with
        | None ->
@@ -247,19 +253,55 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   exception Discarded_suspension
 
+  (* Per-worker reusable VM buffers: the read log (a growable array) and the
+     own-writes table are reset and reused across incarnations on the same
+     domain, so recording a read costs one tuple, not a cons cell plus a
+     whole-log reverse-and-copy at the end. Held in domain-local storage;
+     see [vm_execute] for the one mode that cannot reuse them. *)
+  type scratch = {
+    mutable r_buf : (L.t * Read_origin.t) array;
+    mutable r_len : int;
+    s_writes : V.t LTbl.t;
+    mutable s_worder : L.t list;  (** Write order, reversed; writes are few. *)
+  }
+
+  let fresh_scratch () =
+    { r_buf = [||]; r_len = 0; s_writes = LTbl.create 64; s_worder = [] }
+
+  let scratch_key = Domain.DLS.new_key fresh_scratch
+
+  let push_read (sc : scratch) entry : unit =
+    let cap = Array.length sc.r_buf in
+    if sc.r_len = cap then begin
+      let grown = Array.make (max 64 (2 * cap)) entry in
+      Array.blit sc.r_buf 0 grown 0 sc.r_len;
+      sc.r_buf <- grown
+    end;
+    sc.r_buf.(sc.r_len) <- entry;
+    sc.r_len <- sc.r_len + 1
+
   (* Executes the transaction's code, intercepting reads and writes. Never
      touches MVMemory or Storage mutably. Returns [Vm_blocked] when a read
      observed an ESTIMATE written by a lower transaction; in suspend_resume
-     mode the blocked outcome carries a resumable continuation. *)
+     mode the blocked outcome carries a resumable continuation.
+
+     suspend_resume allocates fresh buffers instead of the domain scratch: a
+     captured continuation closes over the buffers, and the next incarnation
+     may run on a different domain — or this domain may run other
+     incarnations first, which would clobber the suspended state. *)
   let vm_execute (inst : 'o instance) ~(txn_idx : int) : 'o vm_outcome =
     let txn = inst.txns.(txn_idx) in
-    let own_writes : V.t LTbl.t = LTbl.create 8 in
-    let write_order : L.t list ref = ref [] in
-    let read_log : (L.t * Read_origin.t) list ref = ref [] in
+    let sc =
+      if inst.cfg.suspend_resume then fresh_scratch ()
+      else Domain.DLS.get scratch_key
+    in
+    sc.r_len <- 0;
+    LTbl.clear sc.s_writes;
+    sc.s_worder <- [];
     let nreads = ref 0 in
     let read loc =
       incr nreads;
-      match LTbl.find_opt own_writes loc with
+      match LTbl.find_opt sc.s_writes loc with
       | Some v -> Some v (* read-your-writes: not recorded in the read-set *)
       | None ->
           let rec attempt () =
@@ -272,26 +314,25 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 end
                 else raise (Dependency blocking_txn_idx)
             | Mv.Not_found ->
-                read_log := (loc, Read_origin.Storage) :: !read_log;
+                push_read sc (loc, Read_origin.Storage);
                 inst.storage loc
             | Mv.Ok (version, value) ->
-                read_log := (loc, Read_origin.Mv version) :: !read_log;
+                push_read sc (loc, Read_origin.Mv version);
                 Some value
           in
           attempt ()
     in
     let write loc v =
-      if not (LTbl.mem own_writes loc) then
-        write_order := loc :: !write_order;
-      LTbl.replace own_writes loc v
+      if not (LTbl.mem sc.s_writes loc) then sc.s_worder <- loc :: sc.s_worder;
+      LTbl.replace sc.s_writes loc v
     in
     let finish vm_output ~keep_writes =
-      let vm_read_set = Array.of_list (List.rev !read_log) in
+      let vm_read_set = Array.sub sc.r_buf 0 sc.r_len in
       let vm_write_set =
         if keep_writes then
           (* Deterministic order: first-write order of distinct locations. *)
-          !write_order |> List.rev
-          |> List.map (fun loc -> (loc, LTbl.find own_writes loc))
+          sc.s_worder |> List.rev
+          |> List.map (fun loc -> (loc, LTbl.find sc.s_writes loc))
           |> Array.of_list
         else [||]
       in
@@ -300,7 +341,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         vm_write_set;
         vm_output;
         vm_reads = !nreads;
-        vm_writes = LTbl.length own_writes;
+        vm_writes = LTbl.length sc.s_writes;
       }
     in
     Effect.Deep.match_with
@@ -333,7 +374,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                         blocking;
                         reads_so_far = !nreads;
                         suspension =
-                          Some { s_resume = k; s_prefix = !read_log };
+                          Some
+                            {
+                              s_resume = k;
+                              s_prefix = Array.sub sc.r_buf 0 sc.r_len;
+                            };
                       })
             | _ -> None);
       }
@@ -341,7 +386,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (* Re-validate a suspension's read prefix (the §7 "validate the reads that
      happened during the execution prefix upon resumption"). *)
   let prefix_valid (inst : _ instance) ~txn_idx prefix : bool =
-    List.for_all
+    Array.for_all
       (fun (loc, (origin : Read_origin.t)) ->
         match (Mv.read inst.mv loc ~txn_idx, origin) with
         | Mv.Read_error _, _ -> false
@@ -408,7 +453,60 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | P_exec_dep { reads; _ } -> `Dep reads
     | P_val { reads; _ } -> `Val reads
 
-  let start_task (inst : 'o instance) (task : Scheduler.task) : 'o pending =
+  (* Per-worker batched metric accumulation: the step loop counts into a
+     plain record and flushes once (via [Metrics.add]) when the worker loop
+     exits, so the hot path never touches the shared registry cells. The
+     public {!start_task}/{!finish_task} wrappers flush per call, keeping
+     counter visibility unchanged for external drivers (the virtual-time
+     simulator reads metrics between steps). *)
+  type local_stats = {
+    mutable l_incarnations : int;
+    mutable l_dep_aborts : int;
+    mutable l_validations : int;
+    mutable l_val_aborts : int;
+    mutable l_preval_skips : int;
+    mutable l_resumptions : int;
+    mutable l_discarded : int;
+    mutable l_vm_reads : int;
+    mutable l_vm_writes : int;
+  }
+
+  let fresh_stats () =
+    {
+      l_incarnations = 0;
+      l_dep_aborts = 0;
+      l_validations = 0;
+      l_val_aborts = 0;
+      l_preval_skips = 0;
+      l_resumptions = 0;
+      l_discarded = 0;
+      l_vm_reads = 0;
+      l_vm_writes = 0;
+    }
+
+  let flush_stats (inst : _ instance) (s : local_stats) : unit =
+    let fl c n = if n <> 0 then Metrics.add c n in
+    fl inst.c_incarnations s.l_incarnations;
+    fl inst.c_dep_aborts s.l_dep_aborts;
+    fl inst.c_validations s.l_validations;
+    fl inst.c_val_aborts s.l_val_aborts;
+    fl inst.c_preval_skips s.l_preval_skips;
+    fl inst.c_resumptions s.l_resumptions;
+    fl inst.c_discarded s.l_discarded;
+    fl inst.c_vm_reads s.l_vm_reads;
+    fl inst.c_vm_writes s.l_vm_writes;
+    s.l_incarnations <- 0;
+    s.l_dep_aborts <- 0;
+    s.l_validations <- 0;
+    s.l_val_aborts <- 0;
+    s.l_preval_skips <- 0;
+    s.l_resumptions <- 0;
+    s.l_discarded <- 0;
+    s.l_vm_reads <- 0;
+    s.l_vm_writes <- 0
+
+  let start_task_s (inst : 'o instance) (stats : local_stats)
+      (task : Scheduler.task) : 'o pending =
     match task with
     | Scheduler.Execution version -> (
         let txn_idx = Version.txn_idx version in
@@ -424,11 +522,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         let outcome, prefix_paid =
           match stashed with
           | Some s when prefix_valid inst ~txn_idx s.s_prefix ->
-              Metrics.incr inst.c_resumptions;
-              ( Effect.Deep.continue s.s_resume (),
-                List.length s.s_prefix )
+              stats.l_resumptions <- stats.l_resumptions + 1;
+              (Effect.Deep.continue s.s_resume (), Array.length s.s_prefix)
           | Some s ->
-              Metrics.incr inst.c_discarded;
+              stats.l_discarded <- stats.l_discarded + 1;
               (* Unwind the abandoned fiber; its outcome (a Failed result
                  produced by the handler's exnc) is irrelevant. *)
               (try
@@ -441,7 +538,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 if inst.cfg.prevalidate_reads && incarnation > 0 then (
                   match find_read_set_dependency inst ~txn_idx with
                   | Some b ->
-                      Metrics.incr inst.c_preval_skips;
+                      stats.l_preval_skips <- stats.l_preval_skips + 1;
                       Some b
                   | None -> None)
                 else None
@@ -459,20 +556,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
     | Scheduler.Validation (version, wave) ->
         let txn_idx = Version.txn_idx version in
-        Metrics.incr inst.c_validations;
+        stats.l_validations <- stats.l_validations + 1;
         let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
         let valid = Mv.validate_read_set inst.mv txn_idx in
         P_val { version; wave; valid; reads }
 
-  let finish_task (inst : 'o instance) (p : 'o pending) :
-      Scheduler.task option * step_event =
+  let finish_task_s (inst : 'o instance) (stats : local_stats)
+      (p : 'o pending) : Scheduler.task option * step_event =
     match p with
     | P_exec { version; vm; prefix_paid = _ } ->
         let txn_idx = Version.txn_idx version in
         let incarnation = Version.incarnation version in
-        Metrics.incr inst.c_incarnations;
-        Metrics.add inst.c_vm_reads vm.vm_reads;
-        Metrics.add inst.c_vm_writes vm.vm_writes;
+        stats.l_incarnations <- stats.l_incarnations + 1;
+        stats.l_vm_reads <- stats.l_vm_reads + vm.vm_reads;
+        stats.l_vm_writes <- stats.l_vm_writes + vm.vm_writes;
         inst.outputs.(txn_idx) <- Some vm.vm_output;
         let wrote_new_location =
           Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
@@ -483,7 +580,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         in
         (next, Executed { version; reads = vm.vm_reads; writes = vm.vm_writes })
     | P_exec_dep { version; blocking; reads; suspension } ->
-        Metrics.incr inst.c_dep_aborts;
+        stats.l_dep_aborts <- stats.l_dep_aborts + 1;
         let txn_idx = Version.txn_idx version in
         (* Stash the continuation (if any) before publishing the dependency,
            so whichever thread executes the next incarnation finds it. *)
@@ -505,7 +602,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           (not valid) && Scheduler.try_validation_abort inst.sched version
         in
         if aborted then (
-          Metrics.incr inst.c_val_aborts;
+          stats.l_val_aborts <- stats.l_val_aborts + 1;
           if inst.cfg.use_estimates then
             Mv.convert_writes_to_estimates inst.mv txn_idx
           else Mv.remove_written_entries inst.mv txn_idx);
@@ -514,18 +611,41 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         in
         (next, Validated { version; aborted; reads })
 
+  let step_s (inst : _ instance) (stats : local_stats)
+      (task : Scheduler.task option) : Scheduler.task option * step_event =
+    match task with
+    | Some t -> finish_task_s inst stats (start_task_s inst stats t)
+    | None -> (
+        match Scheduler.next_task inst.sched with
+        | Some t -> (Some t, Got_task)
+        | None -> (None, No_task))
+
+  (* Public per-call variants: flush the counters immediately so external
+     drivers observe every step's metrics, exactly as before batching. *)
+
+  let start_task (inst : 'o instance) (task : Scheduler.task) : 'o pending =
+    let stats = fresh_stats () in
+    let p = start_task_s inst stats task in
+    flush_stats inst stats;
+    p
+
+  let finish_task (inst : 'o instance) (p : 'o pending) :
+      Scheduler.task option * step_event =
+    let stats = fresh_stats () in
+    let r = finish_task_s inst stats p in
+    flush_stats inst stats;
+    r
+
   (** One step of the Algorithm 1 loop body: run the carried task (start and
       finish back to back), or fetch a new one. Returns the task to carry
       into the next step plus the event describing what happened.
       Thread-safe: any number of domains may call it concurrently. *)
   let step (inst : _ instance) (task : Scheduler.task option) :
       Scheduler.task option * step_event =
-    match task with
-    | Some t -> finish_task inst (start_task inst t)
-    | None -> (
-        match Scheduler.next_task inst.sched with
-        | Some t -> (Some t, Got_task)
-        | None -> (None, No_task))
+    let stats = fresh_stats () in
+    let r = step_s inst stats task in
+    flush_stats inst stats;
+    r
 
   (* Per-transaction commit hook, run in preset order under the scheduler's
      commit mutex. The transaction's output is final here: EXECUTED implies
@@ -558,12 +678,21 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let worker_loop ?(worker = 0) (inst : _ instance) : unit =
     let rolling = inst.cfg.rolling_commit in
-    match inst.trace with
+    let stats = fresh_stats () in
+    (* Idle backoff: a worker that found no task pauses exponentially longer
+       ([Domain.cpu_relax]) instead of hammering the scheduler counters,
+       which steals cache bandwidth from the domains doing real work. Any
+       real step resets the pause to its minimum. *)
+    let backoff = Atomic_util.Backoff.create () in
+    (match inst.trace with
     | None ->
         (* Untraced hot loop: no timestamps, no event plumbing. *)
         let task = ref None in
         while not (Scheduler.done_ inst.sched) do
-          let task', _ev = step inst !task in
+          let task', ev = step_s inst stats !task in
+          (match ev with
+          | No_task -> Atomic_util.Backoff.once backoff
+          | _ -> Atomic_util.Backoff.reset backoff);
           if rolling then ignore (maybe_commit inst);
           task := task'
         done
@@ -573,7 +702,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         while not (Scheduler.done_ inst.sched) do
           let carried = !task in
           let t0 = Trace.now_ns () in
-          let task', ev = step inst carried in
+          let task', ev = step_s inst stats carried in
           let t1 = Trace.now_ns () in
           (match carried with
           | Some (Scheduler.Execution _) ->
@@ -582,6 +711,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               Metrics.observe inst.h_val_ns (t1 - t0)
           | None -> ());
           Trace.record tr ring ~t0_ns:t0 ~t1_ns:t1 ev;
+          (match ev with
+          | No_task -> Atomic_util.Backoff.once backoff
+          | _ -> Atomic_util.Backoff.reset backoff);
           if rolling then begin
             let tc0 = Trace.now_ns () in
             let committed = maybe_commit inst in
@@ -594,7 +726,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                    })
           end;
           task := task'
-        done
+        done);
+    flush_stats inst stats
 
   let metrics_of (inst : _ instance) : metrics =
     {
@@ -611,6 +744,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let sched (inst : _ instance) : Scheduler.t = inst.sched
 
   let metrics_registry (inst : _ instance) : Metrics.t = inst.obs
+
+  (* Final recorded read-set of a transaction — exposed so tests can assert
+     that speculative execution observed exactly the reads a sequential
+     execution would have. Only meaningful after all workers joined. *)
+  let recorded_read_set (inst : _ instance) (txn_idx : int) :
+      (L.t * Read_origin.t) array =
+    Mv.last_read_set inst.mv txn_idx
 
   let committed_prefix (inst : _ instance) : int =
     Scheduler.committed_prefix inst.sched

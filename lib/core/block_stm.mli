@@ -86,6 +86,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             optional [on_commit] hook fires per transaction in preset order.
             The final snapshot and outputs are guaranteed identical to the
             lazy mode. Default [false]: paper-faithful behavior. *)
+    mv_nshards : int;
+        (** Hash shards in the MVMemory location index (default 64). Exposed
+            so bench can sweep the sharding factor. *)
   }
 
   val default_config : config
@@ -189,6 +192,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       the instance was created with [?trace]. *)
 
   val metrics_of : 'o instance -> metrics
+
+  val recorded_read_set :
+    'o instance -> int -> (L.t * Read_origin.t) array
+  (** Final recorded read-set of a transaction (one descriptor per dynamic
+      read, in order; read-your-own-writes are not recorded). Exposed so
+      tests can assert speculative execution observed exactly the reads a
+      sequential execution would have. Only meaningful after all workers
+      joined. *)
 
   val finalize : 'o instance -> 'o result
   (** Read out the result. Call only after all workers have finished. In

@@ -1,4 +1,5 @@
-(** Helpers over [Stdlib.Atomic] used throughout the scheduler. *)
+(** Helpers over [Stdlib.Atomic] used throughout the scheduler, plus
+    cache-line padding and idle-spin backoff primitives. *)
 
 val fetch_min : int Atomic.t -> int -> bool
 (** [fetch_min a v] atomically sets [a] to [min (get a) v] (the paper's
@@ -13,3 +14,32 @@ val decr : int Atomic.t -> unit
 
 val get_and_incr : int Atomic.t -> int
 (** The paper's [fetch_and_increment]: returns the pre-increment value. *)
+
+val cache_line_words : int
+(** Words per padded block (two 64-byte lines: x86 prefetches line pairs). *)
+
+val pad : 'a -> 'a
+(** [pad v] reallocates the heap block [v] into a block of at least
+    {!cache_line_words} words so no other allocation shares its cache lines;
+    observable fields keep their offsets, so the result behaves exactly like
+    [v]. Apply to freshly allocated, not-yet-shared blocks (an [Atomic.t], a
+    small mutable record about to enter a hot array). Not for immediates or
+    custom/float blocks. *)
+
+val padded_atomic : 'a -> 'a Atomic.t
+(** [padded_atomic v] is [pad (Atomic.make v)]: an atomic on its own cache
+    line(s), immune to false sharing with its allocation neighbours. *)
+
+(** Per-worker exponential backoff for idle spin loops: each {!Backoff.once}
+    spins [2^k] [Domain.cpu_relax] pauses and doubles [k] up to [max_exp]
+    (default 8, i.e. at most 256 pauses per call). Not thread-safe — one
+    value per worker. *)
+module Backoff : sig
+  type t
+
+  val create : ?max_exp:int -> unit -> t
+  val reset : t -> unit
+
+  val once : t -> unit
+  (** Spin for the current pause length, then double it (up to the cap). *)
+end

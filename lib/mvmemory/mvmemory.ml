@@ -7,11 +7,16 @@
     [i < j] (speculative best guess under the preset serialization order);
     hitting an [ESTIMATE] signals a dependency on the blocking transaction.
 
-    Concurrency: as in the paper's implementation (Section 4), [data] is a
-    hash structure over locations with lock-protected per-location search
-    trees ([Map.Make(Int)] keyed by [txn_idx]). Per-transaction bookkeeping
-    ([last_written_locations], [last_read_set]) uses RCU-style atomic swaps of
-    immutable arrays. *)
+    Concurrency (DESIGN.md §9): the read fast path is {e lock-free} — the
+    paper's implementation (Section 4) wins against coarse-grained designs
+    precisely because reads over the multi-version structure take no locks.
+    Locations are found through per-shard open-addressing tables whose slots
+    and table pointer are atomically published (readers probe with plain
+    [Atomic.get]s; the shard mutex is taken only to insert a missing location
+    or to resize). Each location's state is a single immutable {e snapshot}
+    record held in one [Atomic.t]: readers do one [Atomic.get], writers CAS a
+    rebuilt snapshot. Per-transaction bookkeeping ([last_written],
+    [last_reads]) uses RCU-style atomic swaps of immutable arrays. *)
 
 open Blockstm_kernel
 
@@ -23,15 +28,34 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Written of { incarnation : int; value : V.t }
     | Estimate  (** Placeholder left by an aborted incarnation's write. *)
 
-  (* A location's version chain. [versions] is an immutable map swapped under
-     [mutex]; readers take the lock only to load the root pointer. [base] is
-     the committed-base entry: the highest committed writer folded out of the
-     chain by [flush_committed], consulted when the chain has no entry below
-     the reader. *)
-  type cell = {
-    mutex : Mutex.t;
-    mutable versions : entry IMap.t;
-    mutable base : (Version.t * V.t) option;
+  (* A location's state: an immutable snapshot swapped atomically. [versions]
+     is the version chain; [base] is the committed-base entry — the highest
+     committed writer folded out of the chain by [flush_committed], consulted
+     when the chain has no entry below the reader. Readers load the whole
+     snapshot with one [Atomic.get]; every writer CASes a rebuilt record, so
+     [versions] and [base] always change together, atomically. *)
+  type snap = { versions : entry IMap.t; base : (Version.t * V.t) option }
+
+  type cell = snap Atomic.t
+
+  let empty_snap = { versions = IMap.empty; base = None }
+
+  (* An occupied hash slot. Immutable: published once with [Atomic.set],
+     never overwritten (cells persist for the block's lifetime; entries are
+     removed inside the cell's snapshot, not from the table). *)
+  type slot = { key : L.t; cell : cell }
+
+  (* One shard: an atomically published open-addressing table (size a power
+     of two, load factor <= 1/2). The mutex guards inserts and resizes only;
+     the lookup hit path never touches it. A resize allocates a fresh table,
+     rehashes the (shared) slots into it and publishes the new array — a
+     reader still probing the old table sees the same cells, and at worst
+     misses a key inserted after its table load, which linearizes the read
+     before the insert exactly as the old lock-based lookup did. *)
+  type shard = {
+    table : slot option Atomic.t array Atomic.t;
+    insert_lock : Mutex.t;
+    mutable count : int;  (** Occupied slots; guarded by [insert_lock]. *)
   }
 
   type read_result =
@@ -48,8 +72,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   type t = {
     nshards : int;
-    shards : cell Tbl.t array;
-    shard_locks : Mutex.t array;
+    shards : shard array;
     last_written : L.t array Atomic.t array;
     last_reads : read_set Atomic.t array;
     block_size : int;
@@ -60,13 +83,32 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     mutable flushed_upto : int;
   }
 
-  let create ?(nshards = 64) ~block_size () =
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let fresh_table capacity = Array.init capacity (fun _ -> Atomic.make None)
+
+  let create ?(nshards = 64) ?(writes_per_txn = 4) ~block_size () =
     if block_size < 0 then invalid_arg "Mvmemory.create: negative block_size";
     if nshards <= 0 then invalid_arg "Mvmemory.create: nshards must be > 0";
+    if writes_per_txn < 0 then
+      invalid_arg "Mvmemory.create: negative writes_per_txn";
+    (* Pre-size each shard for the block's estimated distinct locations
+       (block_size * writes-per-txn, spread over the shards, at load factor
+       1/2) so the common case never pays an insert-path resize. Clamped so a
+       huge block doesn't balloon the empty tables. *)
+    let est_per_shard = block_size * writes_per_txn / nshards in
+    let capacity = min 65536 (next_pow2 (max 16 (2 * est_per_shard))) in
     {
       nshards;
-      shards = Array.init nshards (fun _ -> Tbl.create 64);
-      shard_locks = Array.init nshards (fun _ -> Mutex.create ());
+      shards =
+        Array.init nshards (fun _ ->
+            {
+              table = Atomic.make (fresh_table capacity);
+              insert_lock = Mutex.create ();
+              count = 0;
+            });
       last_written = Array.init block_size (fun _ -> Atomic.make [||]);
       last_reads = Array.init block_size (fun _ -> Atomic.make [||]);
       block_size;
@@ -75,37 +117,99 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     }
 
   let block_size t = t.block_size
-  let shard_of t loc = L.hash loc land max_int mod t.nshards
+  let nshards t = t.nshards
 
-  (* Find the cell for [loc], creating it if [create] says so. *)
-  let find_cell ?(create = false) t loc : cell option =
-    let s = shard_of t loc in
-    let lock = t.shard_locks.(s) in
-    let tbl = t.shards.(s) in
-    Mutex.lock lock;
-    let cell =
-      match Tbl.find_opt tbl loc with
-      | Some c -> Some c
-      | None ->
-          if create then (
-            let c =
-              { mutex = Mutex.create (); versions = IMap.empty; base = None }
-            in
-            Tbl.add tbl loc c;
-            Some c)
-          else None
+  let hash_of loc = L.hash loc land max_int
+
+  (* In-shard probe start: remix so it does not correlate with the shard
+     selector (both derive from the same hash). *)
+  let probe_of h mask = h * 0x9E3779B1 land max_int land mask
+
+  (* Find the cell for [loc]: the lock-free hit path. One atomic load of the
+     shard's table pointer, then an open-addressing probe of atomically
+     published slots — zero mutex acquisitions. *)
+  let find_cell t loc : cell option =
+    let h = hash_of loc in
+    let shard = t.shards.(h mod t.nshards) in
+    let table = Atomic.get shard.table in
+    let mask = Array.length table - 1 in
+    let rec probe i =
+      match Atomic.get table.(i) with
+      | None -> None
+      | Some s when L.equal s.key loc -> Some s.cell
+      | Some _ -> probe ((i + 1) land mask)
     in
-    Mutex.unlock lock;
+    probe (probe_of h mask)
+
+  (* Slot insertion into [table]; caller holds the shard's insert lock. The
+     probe may pass slots another insert just published — fine, they are
+     different keys (the caller re-checked under the lock). *)
+  let rec insert_into table mask i slot =
+    match Atomic.get table.(i) with
+    | None -> Atomic.set table.(i) (Some slot)
+    | Some _ -> insert_into table mask ((i + 1) land mask) slot
+
+  (* Miss path: create the cell under the shard lock (double-checking the
+     current table first — another thread may have inserted while we waited),
+     resizing at load factor 1/2. *)
+  let create_cell t loc : cell =
+    let h = hash_of loc in
+    let shard = t.shards.(h mod t.nshards) in
+    Mutex.lock shard.insert_lock;
+    let table = Atomic.get shard.table in
+    let mask = Array.length table - 1 in
+    let rec refind i =
+      match Atomic.get table.(i) with
+      | None -> None
+      | Some s when L.equal s.key loc -> Some s.cell
+      | Some _ -> refind ((i + 1) land mask)
+    in
+    let cell =
+      match refind (probe_of h mask) with
+      | Some cell -> cell
+      | None ->
+          let cell = Atomic.make empty_snap in
+          let table, mask =
+            if 2 * (shard.count + 1) > Array.length table then begin
+              (* Grow 2x and republish. Slots are shared between old and new
+                 tables, so readers of either see the same cells. *)
+              let grown = fresh_table (2 * Array.length table) in
+              let gmask = Array.length grown - 1 in
+              Array.iter
+                (fun o ->
+                  match Atomic.get o with
+                  | None -> ()
+                  | Some s ->
+                      insert_into grown gmask (probe_of (hash_of s.key) gmask) s)
+                table;
+              Atomic.set shard.table grown;
+              (grown, gmask)
+            end
+            else (table, mask)
+          in
+          insert_into table mask (probe_of h mask) { key = loc; cell };
+          shard.count <- shard.count + 1;
+          cell
+    in
+    Mutex.unlock shard.insert_lock;
     cell
 
-  let cell_update (c : cell) (f : entry IMap.t -> entry IMap.t) : unit =
-    Mutex.lock c.mutex;
-    c.versions <- f c.versions;
-    Mutex.unlock c.mutex
+  let find_or_create_cell t loc : cell =
+    match find_cell t loc with Some c -> c | None -> create_cell t loc
+
+  (* Writer side: CAS a rebuilt snapshot. Retries only on a racing writer to
+     the same location. *)
+  let rec cell_update (c : cell) (f : snap -> snap) : unit =
+    let old = Atomic.get c in
+    let next = f old in
+    if not (Atomic.compare_and_set c old next) then cell_update c f
+
+  let map_versions f s = { s with versions = f s.versions }
 
   (* Algorithm 3, [read]: entry by the highest transaction index < txn_idx.
-     The committed base is only consulted when the chain has no entry below
-     the reader: flushed entries are always lower than every unflushed chain
+     Lock-free: one atomic snapshot load, then pure map lookups. The
+     committed base is only consulted when the chain has no entry below the
+     reader: flushed entries are always lower than every unflushed chain
      entry (the flush removes the whole committed prefix per location), so
      chain-first preserves the highest-lower-writer rule. The base keeps the
      exact version of the flushed write, so read descriptors — and therefore
@@ -114,10 +218,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     match find_cell t loc with
     | None -> Not_found
     | Some cell -> (
-        Mutex.lock cell.mutex;
-        let versions = cell.versions in
-        let base = cell.base in
-        Mutex.unlock cell.mutex;
+        let { versions; base } = Atomic.get cell in
         match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with
         | Some (idx, Estimate) -> Read_error { blocking_txn_idx = idx }
         | Some (idx, Written { incarnation; value }) ->
@@ -132,17 +233,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let apply_write_set t ~txn_idx ~incarnation (write_set : write_set) : unit =
     Array.iter
       (fun (loc, value) ->
-        match find_cell ~create:true t loc with
-        | None -> assert false
-        | Some cell ->
-            cell_update cell
-              (IMap.add txn_idx (Written { incarnation; value })))
+        cell_update
+          (find_or_create_cell t loc)
+          (map_versions (IMap.add txn_idx (Written { incarnation; value }))))
       write_set
 
   let remove_entry t (loc : L.t) ~txn_idx : unit =
     match find_cell t loc with
     | None -> ()
-    | Some cell -> cell_update cell (IMap.remove txn_idx)
+    | Some cell -> cell_update cell (map_versions (IMap.remove txn_idx))
 
   (* Algorithm 2, [rcu_update_written_locations]: replace the transaction's
      recorded write locations, removing stale entries; report whether a
@@ -178,7 +277,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       (fun loc ->
         match find_cell t loc with
         | None -> assert false (* entry was written by [record] *)
-        | Some cell -> cell_update cell (IMap.add txn_idx Estimate))
+        | Some cell ->
+            cell_update cell (map_versions (IMap.add txn_idx Estimate)))
       prev_locations
 
   (** Ablation variant of abort handling (§3.2.1: "removing the entries can
@@ -196,9 +296,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let prefill_estimates t (txn_idx : int) (locs : L.t array) : unit =
     Array.iter
       (fun loc ->
-        match find_cell ~create:true t loc with
-        | None -> assert false
-        | Some cell -> cell_update cell (IMap.add txn_idx Estimate))
+        cell_update
+          (find_or_create_cell t loc)
+          (map_versions (IMap.add txn_idx Estimate)))
       locs;
     Atomic.set t.last_written.(txn_idx) locs
 
@@ -226,15 +326,25 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let written_locations t (txn_idx : int) : L.t array =
     Atomic.get t.last_written.(txn_idx)
 
+  (* Fold over every published slot (lock-free: tables only ever gain
+     slots, and a republished table carries every slot of its
+     predecessor). *)
+  let fold_cells t ~init ~f =
+    let acc = ref init in
+    Array.iter
+      (fun shard ->
+        Array.iter
+          (fun o ->
+            match Atomic.get o with
+            | None -> ()
+            | Some s -> acc := f !acc s.key s.cell)
+          (Atomic.get shard.table))
+      t.shards;
+    !acc
+
   (* All locations ever written (deduplicated), in deterministic order. *)
   let all_locations t : L.t list =
-    let acc = ref [] in
-    for s = 0 to t.nshards - 1 do
-      Mutex.lock t.shard_locks.(s);
-      Tbl.iter (fun loc _ -> acc := loc :: !acc) t.shards.(s);
-      Mutex.unlock t.shard_locks.(s)
-    done;
-    List.sort L.compare !acc
+    List.sort L.compare (fold_cells t ~init:[] ~f:(fun acc k _ -> k :: acc))
 
   (* Algorithm 3, [snapshot]: final value for every affected location; called
      after the block commits. *)
@@ -288,7 +398,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       Thread-safe and idempotent — concurrent calls serialize on an internal
       mutex and each prefix index is flushed exactly once. Reads above the
       committed prefix observe identical results before, during and after a
-      flush (same value, same version descriptor). *)
+      flush (same value, same version descriptor): each per-cell base
+      promotion is a single snapshot CAS, so no reader ever sees the entry
+      both gone from the chain and absent from the base. *)
   let flush_committed t ~(upto : int) : unit =
     if upto < 0 || upto > t.block_size then
       invalid_arg "Mvmemory.flush_committed: upto out of range";
@@ -301,17 +413,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           match find_cell t loc with
           | None -> assert false (* entry was written by [record] *)
           | Some cell ->
-              Mutex.lock cell.mutex;
-              (match IMap.find_opt j cell.versions with
-              | Some (Written { incarnation; value }) ->
-                  cell.base <-
-                    Some (Version.make ~txn_idx:j ~incarnation, value);
-                  cell.versions <- IMap.remove j cell.versions
-              | Some Estimate ->
-                  (* A committed transaction has no unresolved estimates. *)
-                  assert false
-              | None -> ());
-              Mutex.unlock cell.mutex)
+              cell_update cell (fun s ->
+                  match IMap.find_opt j s.versions with
+                  | Some (Written { incarnation; value }) ->
+                      {
+                        versions = IMap.remove j s.versions;
+                        base =
+                          Some (Version.make ~txn_idx:j ~incarnation, value);
+                      }
+                  | Some Estimate ->
+                      (* A committed transaction has no unresolved
+                         estimates. *)
+                      assert false
+                  | None -> s))
         (Atomic.get t.last_written.(j))
     done;
     if upto > t.flushed_upto then t.flushed_upto <- upto;
@@ -323,24 +437,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (** The committed base as a sorted association list. After a full flush
       ([flushed_upto t = block_size t]) this equals {!snapshot}. *)
   let committed_snapshot t : (L.t * V.t) list =
-    List.filter_map
-      (fun loc ->
-        match find_cell t loc with
-        | None -> None
-        | Some cell ->
-            Mutex.lock cell.mutex;
-            let base = cell.base in
-            Mutex.unlock cell.mutex;
-            Option.map (fun (_, value) -> (loc, value)) base)
-      (all_locations t)
+    fold_cells t ~init:[] ~f:(fun acc loc cell ->
+        match (Atomic.get cell).base with
+        | Some (_, value) -> (loc, value) :: acc
+        | None -> acc)
+    |> List.sort (fun (a, _) (b, _) -> L.compare a b)
 
   (** Diagnostic: number of version entries currently stored. *)
   let entry_count t : int =
-    let n = ref 0 in
-    for s = 0 to t.nshards - 1 do
-      Mutex.lock t.shard_locks.(s);
-      Tbl.iter (fun _ c -> n := !n + IMap.cardinal c.versions) t.shards.(s);
-      Mutex.unlock t.shard_locks.(s)
-    done;
-    !n
+    fold_cells t ~init:0 ~f:(fun acc _ cell ->
+        acc + IMap.cardinal (Atomic.get cell).versions)
 end

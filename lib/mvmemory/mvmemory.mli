@@ -7,11 +7,16 @@
     [i < j] (speculative best guess under the preset serialization order);
     hitting an [ESTIMATE] signals a dependency on the blocking transaction.
 
-    Concurrency: as in the paper's implementation (Section 4), the data is a
-    hash structure over locations with lock-protected per-location version
-    maps keyed by transaction index. Per-transaction bookkeeping (last
-    written locations, last read-set) uses RCU-style atomic swaps of
-    immutable arrays. All operations are thread-safe. *)
+    Concurrency (DESIGN.md §9): the read fast path is {e lock-free} — as in
+    the paper's implementation (Section 4), reads over the multi-version
+    structure take no locks. Locations are found through per-shard
+    open-addressing tables whose slots and table pointer are atomically
+    published (the shard mutex is taken only to insert a missing location or
+    to resize), and each location's version map + committed base live in a
+    single immutable snapshot record held in one [Atomic.t]: readers do one
+    [Atomic.get], writers CAS a rebuilt snapshot. Per-transaction
+    bookkeeping (last written locations, last read-set) uses RCU-style
+    atomic swaps of immutable arrays. All operations are thread-safe. *)
 
 open Blockstm_kernel
 
@@ -30,12 +35,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   type write_set = (L.t * V.t) array
 
-  val create : ?nshards:int -> block_size:int -> unit -> t
-  (** [nshards] (default 64) is the number of independently locked hash
-      shards. @raise Invalid_argument on negative [block_size] or
-      non-positive [nshards]. *)
+  val create :
+    ?nshards:int -> ?writes_per_txn:int -> block_size:int -> unit -> t
+  (** [nshards] (default 64) is the number of hash shards (each with its own
+      insert lock and atomically published table). [writes_per_txn] (default
+      4) is the estimated number of distinct locations each transaction
+      writes; shard tables are pre-sized from [block_size * writes_per_txn]
+      so the common case never pays an insert-path resize.
+      @raise Invalid_argument on negative [block_size] or [writes_per_txn],
+      or non-positive [nshards]. *)
 
   val block_size : t -> int
+
+  val nshards : t -> int
+  (** Number of hash shards this instance was created with. *)
 
   val read : t -> L.t -> txn_idx:int -> read_result
   (** Algorithm 3, [read]: the entry written by the highest transaction

@@ -95,31 +95,37 @@ type t = {
   commit_idx : int Atomic.t;
 }
 
+(* The global counters are the most contended words in the system — every
+   task claim CASes one of them — and the per-txn dirty/proof/status slots
+   are hammered by neighbouring indices, so all of them are padded onto
+   their own cache lines (DESIGN.md §9). *)
 let create ?(rolling = false) ~block_size () =
   if block_size < 0 then invalid_arg "Scheduler.create: negative block_size";
+  let padded_atomic = Atomic_util.padded_atomic in
   {
     block_size;
     rolling;
-    execution_idx = Atomic.make 0;
-    validation_idx = Atomic.make 0;
-    decrease_cnt = Atomic.make 0;
-    num_active_tasks = Atomic.make 0;
-    done_marker = Atomic.make false;
+    execution_idx = padded_atomic 0;
+    validation_idx = padded_atomic 0;
+    decrease_cnt = padded_atomic 0;
+    num_active_tasks = padded_atomic 0;
+    done_marker = padded_atomic false;
     status =
       Array.init block_size (fun _ ->
-          {
-            st_mutex = Mutex.create ();
-            incarnation = 0;
-            kind = Ready_to_execute;
-          });
+          Atomic_util.pad
+            {
+              st_mutex = Mutex.create ();
+              incarnation = 0;
+              kind = Ready_to_execute;
+            });
     deps =
       Array.init block_size (fun _ ->
-          { dep_mutex = Mutex.create (); dependents = [] });
-    pullback_marker = Atomic.make 0;
-    dirty = Array.init block_size (fun _ -> Atomic.make 0);
-    proof = Array.init block_size (fun _ -> Atomic.make no_proof);
+          Atomic_util.pad { dep_mutex = Mutex.create (); dependents = [] });
+    pullback_marker = padded_atomic 0;
+    dirty = Array.init block_size (fun _ -> padded_atomic 0);
+    proof = Array.init block_size (fun _ -> padded_atomic no_proof);
     commit_mutex = Mutex.create ();
-    commit_idx = Atomic.make 0;
+    commit_idx = padded_atomic 0;
   }
 
 let block_size t = t.block_size

@@ -11,7 +11,8 @@ let run ?config ?declared_writes ~storage txns =
 
 let config ?(num_domains = 1) ?(use_estimates = true)
     ?(prevalidate_reads = true) ?(prefill_estimates = false)
-    ?(suspend_resume = false) ?(rolling_commit = false) () =
+    ?(suspend_resume = false) ?(rolling_commit = false) ?(mv_nshards = 64) ()
+    =
   {
     Bstm.num_domains;
     use_estimates;
@@ -19,6 +20,7 @@ let config ?(num_domains = 1) ?(use_estimates = true)
     prefill_estimates;
     suspend_resume;
     rolling_commit;
+    mv_nshards;
   }
 
 (* --- Basics -------------------------------------------------------------- *)

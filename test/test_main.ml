@@ -15,6 +15,7 @@ let () =
       ("obs", Test_obs.suite);
       ("suspend_resume", Test_suspend.suite);
       ("stress", Test_stress.suite);
+      ("scaling_stress", Test_scaling_stress.suite);
       ("chain", Test_chain.suite);
       ("properties", Test_props.suite);
     ]
