@@ -106,7 +106,7 @@ let experiment_json (e : experiment) : J.t =
 let to_json () : J.t =
   J.Obj
     [
-      ("schema", J.Str "blockstm-bench/3");
+      ("schema", J.Str "blockstm-bench/4");
       ("mode", J.Str !mode_name);
       ("experiments", J.List (List.rev_map experiment_json !experiments));
     ]

@@ -169,6 +169,16 @@ let run_cmd =
              (blockstm executor only) and report per-transaction \
              time-to-commit percentiles.")
   in
+  let targeted =
+    Arg.(
+      value & flag
+      & info [ "targeted" ]
+          ~doc:
+            "Targeted revalidation (DESIGN.md §10): per-location reader \
+             registries and value-equality write pruning replace the paper's \
+             whole-suffix revalidation (blockstm executor only; incompatible \
+             with $(b,--no-estimates)).")
+  in
   let pipeline =
     Arg.(
       value & flag
@@ -243,7 +253,7 @@ let run_cmd =
         exit 1
   in
   let action workload accounts block seed theta executor domains suspend
-      no_estimates rolling pipeline blocks verify trace_out =
+      no_estimates rolling targeted pipeline blocks verify trace_out =
     let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let config =
@@ -253,6 +263,7 @@ let run_cmd =
         suspend_resume = suspend;
         use_estimates = not no_estimates;
         rolling_commit = rolling;
+        targeted_validation = targeted;
       }
     in
     if pipeline then run_pipeline g config executor blocks n
@@ -334,7 +345,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
       $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
-      $ pipeline $ blocks $ verify $ trace_out)
+      $ targeted $ pipeline $ blocks $ verify $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -402,8 +413,9 @@ let exp_cmd =
       value & opt_all string []
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
-                gas-sharding, real, scaling, commit-latency, minimove, \
-                micro). Repeatable; default: all.")
+                gas-sharding, real, scaling, commit-latency, \
+                validation-cost, minimove, micro). Repeatable; default: \
+                all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")

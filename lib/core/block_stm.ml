@@ -55,14 +55,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     commits : int;
         (** Transactions committed by the rolling sweep (0 when
             [rolling_commit] is off: the block commits lazily as a whole). *)
+    targeted_validations : int;
+        (** Validation tasks drained from the targeted needs-revalidation
+            queue (0 unless [targeted_validation]). *)
+    suffix_validations_avoided : int;
+        (** Validation tasks the paper's suffix pullbacks would have
+            scheduled beyond what targeted marking did (0 unless
+            [targeted_validation]). *)
+    value_prune_hits : int;
+        (** Writes pruned as value-equal republications (0 unless
+            [targeted_validation]). *)
   }
 
   let pp_metrics ppf m =
     Fmt.pf ppf
       "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
-       preval_skips=%d; resumed=%d; discarded=%d; commits=%d }"
+       preval_skips=%d; resumed=%d; discarded=%d; commits=%d; targeted=%d; \
+       suffix_avoided=%d; prunes=%d }"
       m.incarnations m.dependency_aborts m.validations m.validation_aborts
       m.prevalidation_skips m.resumptions m.discarded_suspensions m.commits
+      m.targeted_validations m.suffix_validations_avoided m.value_prune_hits
 
   type config = {
     num_domains : int;  (** Worker domains (>= 1). *)
@@ -97,6 +109,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     mv_nshards : int;
         (** Hash shards in the MVMemory location index (default 64). Exposed
             so bench can sweep the sharding factor. *)
+    targeted_validation : bool;
+        (** §7 future-work optimization (DESIGN.md §10): replace the paper's
+            whole-suffix revalidation with targeted revalidation — MVMemory
+            tracks per-location reader registries and prunes value-equal
+            republications, and the scheduler revalidates exactly the
+            invalidated readers through a needs-revalidation queue, keeping
+            the suffix pullback as the registry-overflow backstop. Default
+            [false]: paper-faithful behavior, byte-identical results.
+            Requires [use_estimates]. *)
   }
 
   let default_config =
@@ -108,6 +129,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       suspend_resume = false;
       rolling_commit = false;
       mv_nshards = 64;
+      targeted_validation = false;
     }
 
   type 'o result = {
@@ -122,6 +144,35 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (* ---------------------------------------------------------------------- *)
   (* Engine instance: shared state of one block execution.                  *)
   (* ---------------------------------------------------------------------- *)
+
+  (* Batched per-worker stat slots (see [local_stats] below): one index per
+     counter that the step loop accumulates. The registry counter names live
+     in [stat_names], in slot order. *)
+  let stat_incarnations = 0
+
+  let stat_dep_aborts = 1
+  let stat_validations = 2
+  let stat_val_aborts = 3
+  let stat_preval_skips = 4
+  let stat_resumptions = 5
+  let stat_discarded = 6
+  let stat_vm_reads = 7
+  let stat_vm_writes = 8
+  let stat_value_prune_hits = 9
+
+  let stat_names =
+    [|
+      "incarnations";
+      "dependency_aborts";
+      "validations";
+      "validation_aborts";
+      "prevalidation_skips";
+      "resumptions";
+      "discarded_suspensions";
+      "vm_reads";
+      "vm_writes";
+      "value_prune_hits";
+    |]
 
   type 'o instance = {
     txns : 'o txn array;
@@ -141,22 +192,24 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     obs : Metrics.t;
         (* Engine counters live in per-domain padded cells — no cross-domain
            contention on the hot path (previously: shared atomics). *)
-    c_incarnations : Metrics.counter;
-    c_dep_aborts : Metrics.counter;
-    c_validations : Metrics.counter;
-    c_val_aborts : Metrics.counter;
-    c_preval_skips : Metrics.counter;
-    c_resumptions : Metrics.counter;
-    c_discarded : Metrics.counter;
-    c_vm_reads : Metrics.counter;
-    c_vm_writes : Metrics.counter;
+    ctab : Metrics.counter array;
+        (* Batch-flushed counters, indexed by the [stat_*] constants. *)
     c_commits : Metrics.counter;
+    c_targeted : Metrics.counter;
+        (* Scheduler-sourced targeted counters, synced once in [finalize];
+           [metrics_of] reads the scheduler directly so the record is always
+           current. *)
+    c_suffix_avoided : Metrics.counter;
+    c_targeted_fallbacks : Metrics.counter;
     h_exec_ns : Metrics.histogram;
         (* Step-duration histograms, observed only when tracing is on (the
            untraced loop takes no timestamps). *)
     h_val_ns : Metrics.histogram;
     h_commit_ns : Metrics.histogram;
         (* Time-to-commit per transaction (rolling_commit only). *)
+    h_reader_occ : Metrics.histogram;
+        (* Per-location reader-registry occupancy, observed in [finalize]
+           (targeted_validation only). *)
     trace : Trace.t option;
     (* Rolling-commit streaming state. [commit_ns.(j)] is written once, by
        whichever domain commits j (under the scheduler's commit mutex), and
@@ -207,7 +260,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | _ -> ());
     if config.mv_nshards < 1 then
       invalid_arg "Block_stm: mv_nshards must be >= 1";
-    let mv = Mv.create ~nshards:config.mv_nshards ~block_size:n () in
+    if config.targeted_validation && not config.use_estimates then
+      (* Without ESTIMATE markers an aborted write disappears silently, so
+         readers racing the abort window cannot be pinned down by either the
+         abort-time or the record-time registry collection. *)
+      invalid_arg "Block_stm: targeted_validation requires use_estimates";
+    let mv =
+      Mv.create ~nshards:config.mv_nshards
+        ~targeted:config.targeted_validation ~block_size:n ()
+    in
     (if config.prefill_estimates then
        match declared_writes with
        | None ->
@@ -221,24 +282,22 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       txns;
       storage;
       mv;
-      sched = Scheduler.create ~rolling:config.rolling_commit ~block_size:n ();
+      sched =
+        Scheduler.create ~rolling:config.rolling_commit
+          ~targeted:config.targeted_validation ~block_size:n ();
       cfg = config;
       outputs = Array.make n None;
       suspensions = Array.init n (fun _ -> Atomic.make None);
       obs;
-      c_incarnations = Metrics.counter obs "incarnations";
-      c_dep_aborts = Metrics.counter obs "dependency_aborts";
-      c_validations = Metrics.counter obs "validations";
-      c_val_aborts = Metrics.counter obs "validation_aborts";
-      c_preval_skips = Metrics.counter obs "prevalidation_skips";
-      c_resumptions = Metrics.counter obs "resumptions";
-      c_discarded = Metrics.counter obs "discarded_suspensions";
-      c_vm_reads = Metrics.counter obs "vm_reads";
-      c_vm_writes = Metrics.counter obs "vm_writes";
+      ctab = Array.map (Metrics.counter obs) stat_names;
       c_commits = Metrics.counter obs "commits";
+      c_targeted = Metrics.counter obs "targeted_validations";
+      c_suffix_avoided = Metrics.counter obs "suffix_validations_avoided";
+      c_targeted_fallbacks = Metrics.counter obs "targeted_fallbacks";
       h_exec_ns = Metrics.histogram obs "exec_step_ns";
       h_val_ns = Metrics.histogram obs "validation_step_ns";
       h_commit_ns = Metrics.histogram obs "commit_latency_ns";
+      h_reader_occ = Metrics.histogram obs "reader_registry_occupancy";
       trace;
       t0_ns = Trace.now_ns ();
       commit_ns = (if config.rolling_commit then Array.make n (-1) else [||]);
@@ -454,56 +513,28 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | P_val { reads; _ } -> `Val reads
 
   (* Per-worker batched metric accumulation: the step loop counts into a
-     plain record and flushes once (via [Metrics.add]) when the worker loop
-     exits, so the hot path never touches the shared registry cells. The
-     public {!start_task}/{!finish_task} wrappers flush per call, keeping
-     counter visibility unchanged for external drivers (the virtual-time
-     simulator reads metrics between steps). *)
-  type local_stats = {
-    mutable l_incarnations : int;
-    mutable l_dep_aborts : int;
-    mutable l_validations : int;
-    mutable l_val_aborts : int;
-    mutable l_preval_skips : int;
-    mutable l_resumptions : int;
-    mutable l_discarded : int;
-    mutable l_vm_reads : int;
-    mutable l_vm_writes : int;
-  }
+     plain int array — one slot per [stat_*] constant, mirroring the
+     instance's [ctab] — and flushes once (via [Metrics.add]) when the
+     worker loop exits, so the hot path never touches the shared registry
+     cells. Table-driven: adding a counter means adding a slot constant, a
+     name in [stat_names], and the [bump] call sites. The public
+     {!start_task}/{!finish_task} wrappers flush per call, keeping counter
+     visibility unchanged for external drivers (the virtual-time simulator
+     reads metrics between steps). *)
+  type local_stats = int array
 
-  let fresh_stats () =
-    {
-      l_incarnations = 0;
-      l_dep_aborts = 0;
-      l_validations = 0;
-      l_val_aborts = 0;
-      l_preval_skips = 0;
-      l_resumptions = 0;
-      l_discarded = 0;
-      l_vm_reads = 0;
-      l_vm_writes = 0;
-    }
+  let fresh_stats () : local_stats = Array.make (Array.length stat_names) 0
+  let bump (s : local_stats) i = s.(i) <- s.(i) + 1
+  let bump_by (s : local_stats) i n = s.(i) <- s.(i) + n
 
   let flush_stats (inst : _ instance) (s : local_stats) : unit =
-    let fl c n = if n <> 0 then Metrics.add c n in
-    fl inst.c_incarnations s.l_incarnations;
-    fl inst.c_dep_aborts s.l_dep_aborts;
-    fl inst.c_validations s.l_validations;
-    fl inst.c_val_aborts s.l_val_aborts;
-    fl inst.c_preval_skips s.l_preval_skips;
-    fl inst.c_resumptions s.l_resumptions;
-    fl inst.c_discarded s.l_discarded;
-    fl inst.c_vm_reads s.l_vm_reads;
-    fl inst.c_vm_writes s.l_vm_writes;
-    s.l_incarnations <- 0;
-    s.l_dep_aborts <- 0;
-    s.l_validations <- 0;
-    s.l_val_aborts <- 0;
-    s.l_preval_skips <- 0;
-    s.l_resumptions <- 0;
-    s.l_discarded <- 0;
-    s.l_vm_reads <- 0;
-    s.l_vm_writes <- 0
+    Array.iteri
+      (fun i n ->
+        if n <> 0 then begin
+          Metrics.add inst.ctab.(i) n;
+          s.(i) <- 0
+        end)
+      s
 
   let start_task_s (inst : 'o instance) (stats : local_stats)
       (task : Scheduler.task) : 'o pending =
@@ -522,10 +553,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         let outcome, prefix_paid =
           match stashed with
           | Some s when prefix_valid inst ~txn_idx s.s_prefix ->
-              stats.l_resumptions <- stats.l_resumptions + 1;
+              bump stats stat_resumptions;
               (Effect.Deep.continue s.s_resume (), Array.length s.s_prefix)
           | Some s ->
-              stats.l_discarded <- stats.l_discarded + 1;
+              bump stats stat_discarded;
               (* Unwind the abandoned fiber; its outcome (a Failed result
                  produced by the handler's exnc) is irrelevant. *)
               (try
@@ -538,7 +569,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 if inst.cfg.prevalidate_reads && incarnation > 0 then (
                   match find_read_set_dependency inst ~txn_idx with
                   | Some b ->
-                      stats.l_preval_skips <- stats.l_preval_skips + 1;
+                      bump stats stat_preval_skips;
                       Some b
                   | None -> None)
                 else None
@@ -556,7 +587,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
     | Scheduler.Validation (version, wave) ->
         let txn_idx = Version.txn_idx version in
-        stats.l_validations <- stats.l_validations + 1;
+        bump stats stat_validations;
         let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
         let valid = Mv.validate_read_set inst.mv txn_idx in
         P_val { version; wave; valid; reads }
@@ -567,20 +598,34 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | P_exec { version; vm; prefix_paid = _ } ->
         let txn_idx = Version.txn_idx version in
         let incarnation = Version.incarnation version in
-        stats.l_incarnations <- stats.l_incarnations + 1;
-        stats.l_vm_reads <- stats.l_vm_reads + vm.vm_reads;
-        stats.l_vm_writes <- stats.l_vm_writes + vm.vm_writes;
+        bump stats stat_incarnations;
+        bump_by stats stat_vm_reads vm.vm_reads;
+        bump_by stats stat_vm_writes vm.vm_writes;
         inst.outputs.(txn_idx) <- Some vm.vm_output;
-        let wrote_new_location =
-          Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
-        in
         let next =
-          Scheduler.finish_execution inst.sched ~txn_idx ~incarnation
-            ~wrote_new_location
+          if inst.cfg.targeted_validation then begin
+            let o =
+              Mv.record_targeted inst.mv version vm.vm_read_set vm.vm_write_set
+            in
+            bump_by stats stat_value_prune_hits o.Mv.prune_hits;
+            let reval =
+              match o.Mv.invalidated with
+              | Mv.Suffix -> Scheduler.Reval_suffix
+              | Mv.Readers rs -> Scheduler.Reval_readers rs
+            in
+            Scheduler.finish_execution_targeted inst.sched ~txn_idx
+              ~incarnation ~wrote_new_location:o.Mv.wrote_new_location ~reval
+          end
+          else
+            let wrote_new_location =
+              Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
+            in
+            Scheduler.finish_execution inst.sched ~txn_idx ~incarnation
+              ~wrote_new_location
         in
         (next, Executed { version; reads = vm.vm_reads; writes = vm.vm_writes })
     | P_exec_dep { version; blocking; reads; suspension } ->
-        stats.l_dep_aborts <- stats.l_dep_aborts + 1;
+        bump stats stat_dep_aborts;
         let txn_idx = Version.txn_idx version in
         (* Stash the continuation (if any) before publishing the dependency,
            so whichever thread executes the next incarnation finds it. *)
@@ -601,13 +646,25 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         let aborted =
           (not valid) && Scheduler.try_validation_abort inst.sched version
         in
+        (* Targeted mode: collect the invalidated readers BEFORE the writes
+           become ESTIMATEs — readers that slip past this collection either
+           hit the ESTIMATEs or are caught by the re-execution's record. *)
+        let invalidated =
+          if aborted && inst.cfg.targeted_validation then
+            Some
+              (match Mv.invalidated_readers inst.mv ~txn_idx with
+              | Mv.Suffix -> Scheduler.Reval_suffix
+              | Mv.Readers rs -> Scheduler.Reval_readers rs)
+          else None
+        in
         if aborted then (
-          stats.l_val_aborts <- stats.l_val_aborts + 1;
+          bump stats stat_val_aborts;
           if inst.cfg.use_estimates then
             Mv.convert_writes_to_estimates inst.mv txn_idx
           else Mv.remove_written_entries inst.mv txn_idx);
         let next =
-          Scheduler.finish_validation inst.sched ~version ~wave ~aborted
+          Scheduler.finish_validation ?invalidated inst.sched ~version ~wave
+            ~aborted
         in
         (next, Validated { version; aborted; reads })
 
@@ -730,15 +787,21 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     flush_stats inst stats
 
   let metrics_of (inst : _ instance) : metrics =
+    let v i = Metrics.value inst.ctab.(i) in
     {
-      incarnations = Metrics.value inst.c_incarnations;
-      dependency_aborts = Metrics.value inst.c_dep_aborts;
-      validations = Metrics.value inst.c_validations;
-      validation_aborts = Metrics.value inst.c_val_aborts;
-      prevalidation_skips = Metrics.value inst.c_preval_skips;
-      resumptions = Metrics.value inst.c_resumptions;
-      discarded_suspensions = Metrics.value inst.c_discarded;
+      incarnations = v stat_incarnations;
+      dependency_aborts = v stat_dep_aborts;
+      validations = v stat_validations;
+      validation_aborts = v stat_val_aborts;
+      prevalidation_skips = v stat_preval_skips;
+      resumptions = v stat_resumptions;
+      discarded_suspensions = v stat_discarded;
       commits = Metrics.value inst.c_commits;
+      (* Scheduler-sourced so the record is current even before [finalize]
+         syncs the registry counters. *)
+      targeted_validations = Scheduler.targeted_claims inst.sched;
+      suffix_validations_avoided = Scheduler.suffix_avoided inst.sched;
+      value_prune_hits = v stat_value_prune_hits;
     }
 
   let sched (inst : _ instance) : Scheduler.t = inst.sched
@@ -757,6 +820,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let finalize (inst : 'o instance) : 'o result =
     let n = Array.length inst.txns in
+    if inst.cfg.targeted_validation then begin
+      (* Sync the scheduler-sourced targeted counters into the registry (so
+         JSON exports carry them) and sample registry occupancy. [finalize]
+         runs once per instance, after the workers joined. *)
+      Metrics.add inst.c_targeted (Scheduler.targeted_claims inst.sched);
+      Metrics.add inst.c_suffix_avoided (Scheduler.suffix_avoided inst.sched);
+      Metrics.add inst.c_targeted_fallbacks
+        (Scheduler.targeted_fallbacks inst.sched);
+      Mv.iter_reader_registries inst.mv ~f:(fun ~used ~overflowed:_ ->
+          Metrics.observe inst.h_reader_occ used)
+    end;
     let snapshot =
       if inst.cfg.rolling_commit then begin
         (* Drain the sweep: every transaction is EXECUTED with a final

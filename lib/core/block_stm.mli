@@ -55,6 +55,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     commits : int;
         (** Transactions committed by the rolling sweep (0 when
             [rolling_commit] is off: the block commits lazily as a whole). *)
+    targeted_validations : int;
+        (** Validation tasks drained from the targeted needs-revalidation
+            queue (0 unless [targeted_validation]). *)
+    suffix_validations_avoided : int;
+        (** Validation tasks the paper's suffix pullbacks would have
+            scheduled beyond what targeted marking did (0 unless
+            [targeted_validation]). *)
+    value_prune_hits : int;
+        (** Writes pruned as value-equal republications (0 unless
+            [targeted_validation]). *)
   }
 
   val pp_metrics : Format.formatter -> metrics -> unit
@@ -89,11 +99,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     mv_nshards : int;
         (** Hash shards in the MVMemory location index (default 64). Exposed
             so bench can sweep the sharding factor. *)
+    targeted_validation : bool;
+        (** §7 future-work optimization (DESIGN.md §10): replace the paper's
+            whole-suffix revalidation with targeted revalidation — MVMemory
+            tracks per-location reader registries, value-equal republications
+            are pruned, and only the precisely invalidated readers are
+            re-validated (registry overflow degrades back to the paper's
+            suffix pullback, never to unsoundness). Default [false]:
+            paper-faithful behavior. Requires [use_estimates]. *)
   }
 
   val default_config : config
   (** One domain, estimates and read-set prevalidation on, prefill,
-      suspend/resume and rolling commit off. *)
+      suspend/resume, rolling commit and targeted validation off. *)
 
   type 'o result = {
     snapshot : (L.t * V.t) list;  (** Final value per affected location. *)
@@ -136,10 +154,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   (** The live metrics registry: counters ["incarnations"],
       ["dependency_aborts"], ["validations"], ["validation_aborts"],
       ["prevalidation_skips"], ["resumptions"], ["discarded_suspensions"],
-      ["vm_reads"], ["vm_writes"], ["commits"]; histograms ["exec_step_ns"]
-      and ["validation_step_ns"] (populated only when tracing is enabled) and
+      ["vm_reads"], ["vm_writes"], ["value_prune_hits"], ["commits"],
+      ["targeted_validations"], ["suffix_validations_avoided"] and
+      ["targeted_fallbacks"] (the targeted_* family populated at {!finalize},
+      non-zero only with [targeted_validation]); histograms ["exec_step_ns"]
+      and ["validation_step_ns"] (populated only when tracing is enabled),
       ["commit_latency_ns"] (per-transaction time-to-commit, rolling_commit
-      only). *)
+      only) and ["reader_registry_occupancy"] (per-location reader-registry
+      slot usage, targeted_validation only, populated at {!finalize}). *)
 
   val committed_prefix : 'o instance -> int
   (** Length of the committed prefix so far (0 unless [rolling_commit]).

@@ -16,7 +16,17 @@
     or to resize). Each location's state is a single immutable {e snapshot}
     record held in one [Atomic.t]: readers do one [Atomic.get], writers CAS a
     rebuilt snapshot. Per-transaction bookkeeping ([last_written],
-    [last_reads]) uses RCU-style atomic swaps of immutable arrays. *)
+    [last_reads]) uses RCU-style atomic swaps of immutable arrays.
+
+    Targeted mode (DESIGN.md §10): when created with [~targeted:true], each
+    location additionally carries a bounded lock-free {e reader registry} of
+    transaction indices that observed it, [record_targeted] prunes
+    value-equal republications (same location, byte-identical value → the
+    previous incarnation's descriptor is preserved, so downstream readers
+    stay valid), and writers can ask for the precise set of higher readers a
+    mutation invalidates instead of the paper's whole-suffix pullback. A
+    registry that runs out of slots degrades to the suffix answer
+    ([Suffix]), never to unsoundness. *)
 
 open Blockstm_kernel
 
@@ -26,7 +36,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   type entry =
     | Written of { incarnation : int; value : V.t }
-    | Estimate  (** Placeholder left by an aborted incarnation's write. *)
+    | Estimate of { prior : (int * V.t) option }
+        (** Placeholder left by an aborted incarnation's write. [prior] keeps
+            the displaced [Written] payload (incarnation, value) so that a
+            targeted-mode re-publication of the same value can restore the
+            original descriptor (value-equality pruning); [None] outside
+            targeted mode and for pre-execution estimates. *)
 
   (* A location's state: an immutable snapshot swapped atomically. [versions]
      is the version chain; [base] is the committed-base entry — the highest
@@ -40,10 +55,23 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let empty_snap = { versions = IMap.empty; base = None }
 
+  (* Per-location reader registry (targeted mode only): a grow-once-in-place
+     set of transaction indices, -1 = empty slot. Registration CASes an empty
+     slot; growth CAS-publishes a larger array that shares the existing
+     [Atomic.t] slot blocks (so registrations racing the growth are never
+     lost). When the hard cap is reached the [overflow] flag is raised and the
+     registry permanently answers "unknown readers" — callers fall back to
+     the paper's suffix revalidation. *)
+  type reader_reg = {
+    reg_slots : int Atomic.t array Atomic.t;
+    reg_overflow : bool Atomic.t;
+  }
+
   (* An occupied hash slot. Immutable: published once with [Atomic.set],
      never overwritten (cells persist for the block's lifetime; entries are
-     removed inside the cell's snapshot, not from the table). *)
-  type slot = { key : L.t; cell : cell }
+     removed inside the cell's snapshot, not from the table). [readers] is
+     [Some] exactly when the instance is targeted. *)
+  type slot = { key : L.t; cell : cell; readers : reader_reg option }
 
   (* One shard: an atomically published open-addressing table (size a power
      of two, load factor <= 1/2). The mutex guards inserts and resizes only;
@@ -70,12 +98,32 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   type write_set = (L.t * V.t) array
 
+  (** Answer to "whose recorded reads does this mutation invalidate?". *)
+  type invalidation =
+    | Suffix
+        (** Unknown (registry overflow / non-targeted): every transaction
+            above the writer must be revalidated — the paper's answer. *)
+    | Readers of int list
+        (** Precise sorted, deduplicated set of higher reader indices. *)
+
+  (** Result of {!record_targeted}. *)
+  type record_outcome = {
+    wrote_new_location : bool;
+        (** Same bool {!record} returns (paper Algorithm 2). *)
+    invalidated : invalidation;
+        (** Readers whose descriptors this record invalidated. *)
+    prune_hits : int;
+        (** Writes pruned as value-equal republications. *)
+  }
+
   type t = {
     nshards : int;
     shards : shard array;
     last_written : L.t array Atomic.t array;
     last_reads : read_set Atomic.t array;
     block_size : int;
+    targeted : bool;
+    reader_cap : int;  (** Hard per-registry slot cap before overflow. *)
     (* Rolling-commit flush state: [flushed_upto] is the length of the
        committed prefix already folded into the per-cell [base] entries.
        Guarded by [flush_mutex]; read via {!flushed_upto} without it. *)
@@ -89,11 +137,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let fresh_table capacity = Array.init capacity (fun _ -> Atomic.make None)
 
-  let create ?(nshards = 64) ?(writes_per_txn = 4) ~block_size () =
+  let create ?(nshards = 64) ?(writes_per_txn = 4) ?(targeted = false)
+      ?(reader_slots = 64) ~block_size () =
     if block_size < 0 then invalid_arg "Mvmemory.create: negative block_size";
     if nshards <= 0 then invalid_arg "Mvmemory.create: nshards must be > 0";
     if writes_per_txn < 0 then
       invalid_arg "Mvmemory.create: negative writes_per_txn";
+    if reader_slots < 1 then
+      invalid_arg "Mvmemory.create: reader_slots must be >= 1";
     (* Pre-size each shard for the block's estimated distinct locations
        (block_size * writes-per-txn, spread over the shards, at load factor
        1/2) so the common case never pays an insert-path resize. Clamped so a
@@ -112,12 +163,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       last_written = Array.init block_size (fun _ -> Atomic.make [||]);
       last_reads = Array.init block_size (fun _ -> Atomic.make [||]);
       block_size;
+      targeted;
+      reader_cap = reader_slots;
       flush_mutex = Mutex.create ();
       flushed_upto = 0;
     }
 
   let block_size t = t.block_size
   let nshards t = t.nshards
+  let targeted t = t.targeted
 
   let hash_of loc = L.hash loc land max_int
 
@@ -125,10 +179,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      selector (both derive from the same hash). *)
   let probe_of h mask = h * 0x9E3779B1 land max_int land mask
 
-  (* Find the cell for [loc]: the lock-free hit path. One atomic load of the
+  (* Find the slot for [loc]: the lock-free hit path. One atomic load of the
      shard's table pointer, then an open-addressing probe of atomically
      published slots — zero mutex acquisitions. *)
-  let find_cell t loc : cell option =
+  let find_slot t loc : slot option =
     let h = hash_of loc in
     let shard = t.shards.(h mod t.nshards) in
     let table = Atomic.get shard.table in
@@ -136,10 +190,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     let rec probe i =
       match Atomic.get table.(i) with
       | None -> None
-      | Some s when L.equal s.key loc -> Some s.cell
+      | Some s when L.equal s.key loc -> Some s
       | Some _ -> probe ((i + 1) land mask)
     in
     probe (probe_of h mask)
+
+  let find_cell t loc : cell option =
+    match find_slot t loc with Some s -> Some s.cell | None -> None
 
   (* Slot insertion into [table]; caller holds the shard's insert lock. The
      probe may pass slots another insert just published — fine, they are
@@ -149,10 +206,22 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | None -> Atomic.set table.(i) (Some slot)
     | Some _ -> insert_into table mask ((i + 1) land mask) slot
 
-  (* Miss path: create the cell under the shard lock (double-checking the
+  let reg_initial_slots = 8
+
+  let fresh_reg t =
+    {
+      reg_slots =
+        Atomic.make
+          (Array.init
+             (min reg_initial_slots t.reader_cap)
+             (fun _ -> Atomic.make (-1)));
+      reg_overflow = Atomic.make false;
+    }
+
+  (* Miss path: create the slot under the shard lock (double-checking the
      current table first — another thread may have inserted while we waited),
      resizing at load factor 1/2. *)
-  let create_cell t loc : cell =
+  let create_slot t loc : slot =
     let h = hash_of loc in
     let shard = t.shards.(h mod t.nshards) in
     Mutex.lock shard.insert_lock;
@@ -161,14 +230,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     let rec refind i =
       match Atomic.get table.(i) with
       | None -> None
-      | Some s when L.equal s.key loc -> Some s.cell
+      | Some s when L.equal s.key loc -> Some s
       | Some _ -> refind ((i + 1) land mask)
     in
-    let cell =
+    let slot =
       match refind (probe_of h mask) with
-      | Some cell -> cell
+      | Some slot -> slot
       | None ->
-          let cell = Atomic.make empty_snap in
+          let slot =
+            {
+              key = loc;
+              cell = Atomic.make empty_snap;
+              readers = (if t.targeted then Some (fresh_reg t) else None);
+            }
+          in
           let table, mask =
             if 2 * (shard.count + 1) > Array.length table then begin
               (* Grow 2x and republish. Slots are shared between old and new
@@ -187,15 +262,67 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             end
             else (table, mask)
           in
-          insert_into table mask (probe_of h mask) { key = loc; cell };
+          insert_into table mask (probe_of h mask) slot;
           shard.count <- shard.count + 1;
-          cell
+          slot
     in
     Mutex.unlock shard.insert_lock;
-    cell
+    slot
 
-  let find_or_create_cell t loc : cell =
-    match find_cell t loc with Some c -> c | None -> create_cell t loc
+  let find_or_create_slot t loc : slot =
+    match find_slot t loc with Some s -> s | None -> create_slot t loc
+
+  let find_or_create_cell t loc : cell = (find_or_create_slot t loc).cell
+
+  (* Register [txn_idx] as a reader of [reg]'s location. Lock-free: scan for
+     the index (already registered) or an empty slot to CAS; grow by
+     CAS-publishing a doubled array sharing the existing slot blocks; flip
+     the overflow flag at the hard cap. *)
+  let rec reg_register t (reg : reader_reg) (txn_idx : int) : unit =
+    if not (Atomic.get reg.reg_overflow) then begin
+      let slots = Atomic.get reg.reg_slots in
+      let n = Array.length slots in
+      let rec scan i =
+        if i >= n then `Full
+        else
+          let v = Atomic.get slots.(i) in
+          if v = txn_idx then `Done
+          else if v = -1 then
+            if Atomic.compare_and_set slots.(i) (-1) txn_idx then `Done
+            else scan i (* re-check the slot a racing reader just claimed *)
+          else scan (i + 1)
+      in
+      match scan 0 with
+      | `Done -> ()
+      | `Full ->
+          if n >= t.reader_cap then Atomic.set reg.reg_overflow true
+          else begin
+            let grown =
+              Array.init
+                (min t.reader_cap (2 * n))
+                (fun i -> if i < n then slots.(i) else Atomic.make (-1))
+            in
+            ignore (Atomic.compare_and_set reg.reg_slots slots grown);
+            reg_register t reg txn_idx
+          end
+    end
+
+  (* Readers strictly above [txn_idx] currently registered; [None] if the
+     registry overflowed (readers may be missing). The overflow flag is
+     re-checked after the scan: a registration that overflowed mid-scan would
+     otherwise be silently dropped. *)
+  let reg_readers_above (reg : reader_reg) ~txn_idx : int list option =
+    if Atomic.get reg.reg_overflow then None
+    else begin
+      let slots = Atomic.get reg.reg_slots in
+      let acc = ref [] in
+      Array.iter
+        (fun s ->
+          let v = Atomic.get s in
+          if v > txn_idx then acc := v :: !acc)
+        slots;
+      if Atomic.get reg.reg_overflow then None else Some !acc
+    end
 
   (* Writer side: CAS a rebuilt snapshot. Retries only on a racing writer to
      the same location. *)
@@ -213,14 +340,27 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      entry (the flush removes the whole committed prefix per location), so
      chain-first preserves the highest-lower-writer rule. The base keeps the
      exact version of the flushed write, so read descriptors — and therefore
-     validation — are unchanged by a flush. *)
+     validation — are unchanged by a flush.
+     Targeted mode: the reader registers itself BEFORE loading the snapshot
+     (and a storage-miss read still materializes the slot so a later first
+     write finds its readers). A writer publishes its mutation and only then
+     collects the registry, so every reader either appears in the collection
+     or loaded its snapshot after the mutation — no invalidation is missed. *)
   let read t (loc : L.t) ~(txn_idx : int) : read_result =
-    match find_cell t loc with
+    let slot =
+      if t.targeted && txn_idx < t.block_size then
+        Some (find_or_create_slot t loc)
+      else find_slot t loc
+    in
+    match slot with
     | None -> Not_found
-    | Some cell -> (
-        let { versions; base } = Atomic.get cell in
+    | Some s -> (
+        (match s.readers with
+        | Some reg when txn_idx < t.block_size -> reg_register t reg txn_idx
+        | _ -> ());
+        let { versions; base } = Atomic.get s.cell in
         match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with
-        | Some (idx, Estimate) -> Read_error { blocking_txn_idx = idx }
+        | Some (idx, Estimate _) -> Read_error { blocking_txn_idx = idx }
         | Some (idx, Written { incarnation; value }) ->
             Ok (Version.make ~txn_idx:idx ~incarnation, value)
         | None -> (
@@ -238,6 +378,34 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           (map_versions (IMap.add txn_idx (Written { incarnation; value }))))
       write_set
 
+  (* Targeted publish of one write; returns [true] if the write was pruned:
+     the location already carries (or an ESTIMATE displaced) a byte-identical
+     value from a previous incarnation, and re-publishing under the original
+     (incarnation, value) descriptor leaves every downstream read descriptor
+     valid — so the location contributes no invalidations. *)
+  let publish_write_pruning (cell : cell) ~txn_idx ~incarnation ~value : bool =
+    let rec go () =
+      let old = Atomic.get cell in
+      match IMap.find_opt txn_idx old.versions with
+      | Some (Written { incarnation = _; value = v0 }) when V.equal v0 value ->
+          true (* identical value already published: keep the descriptor *)
+      | Some (Estimate { prior = Some (i0, v0) }) when V.equal v0 value ->
+          let next =
+            map_versions
+              (IMap.add txn_idx (Written { incarnation = i0; value = v0 }))
+              old
+          in
+          if Atomic.compare_and_set cell old next then true else go ()
+      | _ ->
+          let next =
+            map_versions
+              (IMap.add txn_idx (Written { incarnation; value }))
+              old
+          in
+          if Atomic.compare_and_set cell old next then false else go ()
+    in
+    go ()
+
   let remove_entry t (loc : L.t) ~txn_idx : unit =
     match find_cell t loc with
     | None -> ()
@@ -245,19 +413,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   (* Algorithm 2, [rcu_update_written_locations]: replace the transaction's
      recorded write locations, removing stale entries; report whether a
-     location was written that the previous incarnation did not write. *)
+     location was written that the previous incarnation did not write, plus
+     the locations the previous incarnation wrote that this one did not
+     (their entries were just removed — their readers are invalidated). *)
   let rcu_update_written_locations t ~txn_idx (new_locations : L.t array) :
-      bool =
+      bool * L.t list =
     let prev_locations = Atomic.get t.last_written.(txn_idx) in
     let in_new = Tbl.create (Array.length new_locations * 2 + 1) in
     Array.iter (fun l -> Tbl.replace in_new l ()) new_locations;
+    let removed = ref [] in
     Array.iter
-      (fun l -> if not (Tbl.mem in_new l) then remove_entry t l ~txn_idx)
+      (fun l ->
+        if not (Tbl.mem in_new l) then begin
+          remove_entry t l ~txn_idx;
+          removed := l :: !removed
+        end)
       prev_locations;
     let in_prev = Tbl.create (Array.length prev_locations * 2 + 1) in
     Array.iter (fun l -> Tbl.replace in_prev l ()) prev_locations;
     Atomic.set t.last_written.(txn_idx) new_locations;
-    Array.exists (fun l -> not (Tbl.mem in_prev l)) new_locations
+    (Array.exists (fun l -> not (Tbl.mem in_prev l)) new_locations, !removed)
 
   (* Algorithm 2, [record]: returns [wrote_new_location]. *)
   let record t (version : Version.t) (read_set : read_set)
@@ -266,11 +441,94 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     let incarnation = Version.incarnation version in
     apply_write_set t ~txn_idx ~incarnation write_set;
     let new_locations = Array.map fst write_set in
-    let wrote_new = rcu_update_written_locations t ~txn_idx new_locations in
+    let wrote_new, _removed =
+      rcu_update_written_locations t ~txn_idx new_locations
+    in
     Atomic.set t.last_reads.(txn_idx) read_set;
     wrote_new
 
-  (* Algorithm 2, [convert_writes_to_estimates]: called on abort. *)
+  (* Collect the readers invalidated by a record: every reader above the
+     writer registered on a non-pruned written location or on a removed
+     location. Any overflowed (or absent) registry forces [Suffix]. *)
+  let collect_invalidated t ~txn_idx (written : (slot * bool) array)
+      (removed : L.t list) : invalidation =
+    let precise = ref true in
+    let acc = ref [] in
+    let add_slot (s : slot) =
+      match s.readers with
+      | None -> precise := false
+      | Some reg -> (
+          match reg_readers_above reg ~txn_idx with
+          | None -> precise := false
+          | Some rs -> acc := List.rev_append rs !acc)
+    in
+    Array.iter (fun (s, pruned) -> if not pruned then add_slot s) written;
+    List.iter
+      (fun loc ->
+        match find_slot t loc with
+        | None -> () (* a recorded write always has a slot *)
+        | Some s -> add_slot s)
+      removed;
+    if !precise then Readers (List.sort_uniq Int.compare !acc) else Suffix
+
+  (** Targeted-mode [record]: same mutations as {!record} plus (a)
+      value-equality pruning of each write and (b) collection of the precise
+      invalidated-reader set. Mutations are published first and registries
+      collected after, closing the register-then-load race (see {!read}). *)
+  let record_targeted t (version : Version.t) (read_set : read_set)
+      (write_set : write_set) : record_outcome =
+    if not t.targeted then
+      invalid_arg "Mvmemory.record_targeted: not a targeted instance";
+    let txn_idx = Version.txn_idx version in
+    let incarnation = Version.incarnation version in
+    let prune_hits = ref 0 in
+    let written =
+      Array.map
+        (fun (loc, value) ->
+          let slot = find_or_create_slot t loc in
+          let pruned =
+            publish_write_pruning slot.cell ~txn_idx ~incarnation ~value
+          in
+          if pruned then incr prune_hits;
+          (slot, pruned))
+        write_set
+    in
+    let new_locations = Array.map fst write_set in
+    let wrote_new, removed =
+      rcu_update_written_locations t ~txn_idx new_locations
+    in
+    Atomic.set t.last_reads.(txn_idx) read_set;
+    let invalidated = collect_invalidated t ~txn_idx written removed in
+    { wrote_new_location = wrote_new; invalidated; prune_hits = !prune_hits }
+
+  (** Readers above [txn_idx] registered on the locations its last finished
+      incarnation wrote — the precise set a validation abort invalidates.
+      Call BEFORE {!convert_writes_to_estimates}: readers that slip past this
+      collection either hit the ESTIMATEs (and fail through the dependency /
+      validation paths) or are caught by the re-execution's
+      {!record_targeted} collection. [Suffix] on any registry overflow or on
+      a non-targeted instance. *)
+  let invalidated_readers t ~(txn_idx : int) : invalidation =
+    if not t.targeted then Suffix
+    else begin
+      let precise = ref true in
+      let acc = ref [] in
+      Array.iter
+        (fun loc ->
+          match find_slot t loc with
+          | None -> ()
+          | Some { readers = None; _ } -> precise := false
+          | Some { readers = Some reg; _ } -> (
+              match reg_readers_above reg ~txn_idx with
+              | None -> precise := false
+              | Some rs -> acc := List.rev_append rs !acc))
+        (Atomic.get t.last_written.(txn_idx));
+      if !precise then Readers (List.sort_uniq Int.compare !acc) else Suffix
+    end
+
+  (* Algorithm 2, [convert_writes_to_estimates]: called on abort. The
+     displaced [Written] payload is preserved in the ESTIMATE so a targeted
+     re-publication of the same value can restore the original descriptor. *)
   let convert_writes_to_estimates t (txn_idx : int) : unit =
     let prev_locations = Atomic.get t.last_written.(txn_idx) in
     Array.iter
@@ -278,7 +536,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         match find_cell t loc with
         | None -> assert false (* entry was written by [record] *)
         | Some cell ->
-            cell_update cell (map_versions (IMap.add txn_idx Estimate)))
+            cell_update cell (fun s ->
+                let prior =
+                  match IMap.find_opt txn_idx s.versions with
+                  | Some (Written { incarnation; value }) ->
+                      Some (incarnation, value)
+                  | Some (Estimate { prior }) -> prior
+                  | None -> None
+                in
+                map_versions (IMap.add txn_idx (Estimate { prior })) s))
       prev_locations
 
   (** Ablation variant of abort handling (§3.2.1: "removing the entries can
@@ -298,7 +564,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       (fun loc ->
         cell_update
           (find_or_create_cell t loc)
-          (map_versions (IMap.add txn_idx Estimate)))
+          (map_versions (IMap.add txn_idx (Estimate { prior = None }))))
       locs;
     Atomic.set t.last_written.(txn_idx) locs
 
@@ -329,18 +595,36 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (* Fold over every published slot (lock-free: tables only ever gain
      slots, and a republished table carries every slot of its
      predecessor). *)
-  let fold_cells t ~init ~f =
+  let fold_slots t ~init ~f =
     let acc = ref init in
     Array.iter
       (fun shard ->
         Array.iter
           (fun o ->
-            match Atomic.get o with
-            | None -> ()
-            | Some s -> acc := f !acc s.key s.cell)
+            match Atomic.get o with None -> () | Some s -> acc := f !acc s)
           (Atomic.get shard.table))
       t.shards;
     !acc
+
+  let fold_cells t ~init ~f =
+    fold_slots t ~init ~f:(fun acc s -> f acc s.key s.cell)
+
+  (** Per-location reader-registry occupancy (targeted mode): calls [f] once
+      per registry with the number of occupied slots and whether it
+      overflowed. No-op on a non-targeted instance. *)
+  let iter_reader_registries t ~(f : used:int -> overflowed:bool -> unit) :
+      unit =
+    fold_slots t ~init:() ~f:(fun () s ->
+        match s.readers with
+        | None -> ()
+        | Some reg ->
+            let slots = Atomic.get reg.reg_slots in
+            let used =
+              Array.fold_left
+                (fun n c -> if Atomic.get c >= 0 then n + 1 else n)
+                0 slots
+            in
+            f ~used ~overflowed:(Atomic.get reg.reg_overflow))
 
   (* All locations ever written (deduplicated), in deterministic order. *)
   let all_locations t : L.t list =
@@ -421,7 +705,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                         base =
                           Some (Version.make ~txn_idx:j ~incarnation, value);
                       }
-                  | Some Estimate ->
+                  | Some (Estimate _) ->
                       (* A committed transaction has no unresolved
                          estimates. *)
                       assert false

@@ -35,24 +35,63 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   type write_set = (L.t * V.t) array
 
+  type invalidation =
+    | Suffix
+        (** Unknown (registry overflow / non-targeted instance): every
+            transaction above the writer must be revalidated — the paper's
+            whole-suffix answer. Degraded, never unsound. *)
+    | Readers of int list
+        (** Precise sorted, deduplicated set of higher transaction indices
+            whose recorded reads the mutation invalidates. *)
+  (** Answer to "whose recorded reads does this mutation invalidate?". *)
+
+  type record_outcome = {
+    wrote_new_location : bool;
+        (** Same bool {!record} returns (see its doc for the transitions). *)
+    invalidated : invalidation;
+        (** Readers whose descriptors this record invalidated. *)
+    prune_hits : int;
+        (** Writes pruned as value-equal republications. *)
+  }
+  (** Result of {!record_targeted}. *)
+
   val create :
-    ?nshards:int -> ?writes_per_txn:int -> block_size:int -> unit -> t
+    ?nshards:int ->
+    ?writes_per_txn:int ->
+    ?targeted:bool ->
+    ?reader_slots:int ->
+    block_size:int ->
+    unit ->
+    t
   (** [nshards] (default 64) is the number of hash shards (each with its own
       insert lock and atomically published table). [writes_per_txn] (default
       4) is the estimated number of distinct locations each transaction
       writes; shard tables are pre-sized from [block_size * writes_per_txn]
       so the common case never pays an insert-path resize.
+
+      [targeted] (default [false]) enables targeted-revalidation support
+      (DESIGN.md §10): every location carries a lock-free reader registry of
+      at most [reader_slots] (default 64) transaction indices, {!read}
+      registers the reader before loading the snapshot, and
+      {!record_targeted} / {!invalidated_readers} report precise invalidated
+      reader sets. A registry that exceeds [reader_slots] distinct readers
+      overflows and permanently answers {!Suffix} for its location.
       @raise Invalid_argument on negative [block_size] or [writes_per_txn],
-      or non-positive [nshards]. *)
+      non-positive [nshards], or [reader_slots < 1]. *)
 
   val block_size : t -> int
 
   val nshards : t -> int
   (** Number of hash shards this instance was created with. *)
 
+  val targeted : t -> bool
+  (** Whether this instance was created with [~targeted:true]. *)
+
   val read : t -> L.t -> txn_idx:int -> read_result
   (** Algorithm 3, [read]: the entry written by the highest transaction
-      index below [txn_idx]. *)
+      index below [txn_idx]. In targeted mode, additionally registers
+      [txn_idx] in the location's reader registry (snapshot reads at
+      [txn_idx = block_size] are not registered). *)
 
   val apply_write_set :
     t -> txn_idx:int -> incarnation:int -> write_set -> unit
@@ -62,8 +101,56 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   val record : t -> Version.t -> read_set -> write_set -> bool
   (** Algorithm 2, [record]: publish the incarnation's writes, drop entries
       the previous incarnation wrote but this one did not, and store the
-      read-set for later validation. Returns [wrote_new_location]: whether a
-      location was written that the previous incarnation did not write. *)
+      read-set for later validation.
+
+      Returns [wrote_new_location]: [true] iff this incarnation wrote at
+      least one location that the {e previous} incarnation of the same
+      transaction did not write — i.e. a location absent from the last
+      recorded written-locations array. Exhaustively, per location:
+      {ul
+      {- {b first write ever} by this transaction → [true] (no previous
+         incarnation, so every location is new);}
+      {- {b rewrite} of a location the previous incarnation also wrote →
+         [false], {e regardless of the entry's current state} — in
+         particular rewriting over this transaction's own ESTIMATE marker
+         (ESTIMATE→value after an abort) is {e not} a new location, because
+         lower-indexed validations already knew about the write;}
+      {- {b prefilled estimate} ({!prefill_estimates} seeds the location as
+         "written") later materialized by the first incarnation → [false]
+         for the prefilled locations (and dropping a prefilled location the
+         incarnation did not write also does not set the flag);}
+      {- {b delete-then-rewrite across one record}: if incarnation [i]
+         stopped writing a location (its entry was removed by [record]) and
+         incarnation [i+1] writes it again, that location {e is} new again →
+         [true] — the removal erased it from the recorded written set, so
+         readers between the two records may have observed the gap;}
+      {- {b removal only} (previous incarnation wrote it, this one does not)
+         → does not set the flag by itself.}}
+      The scheduler uses the flag as the trigger for suffix revalidation
+      (Algorithm 9); targeted mode replaces the flag with the precise
+      {!record_outcome.invalidated} set. *)
+
+  val record_targeted : t -> Version.t -> read_set -> write_set -> record_outcome
+  (** Targeted-mode {!record}: performs the same mutations, additionally
+      {ul
+      {- {b prunes value-equal republications}: a write of a byte-identical
+         value ([V.equal]) to a location whose displaced entry (or ESTIMATE
+         [prior]) carried the same value is re-published under the {e
+         original} (incarnation, value) descriptor, so downstream read
+         descriptors remain valid and the location invalidates nobody;}
+      {- {b collects the invalidated readers}: every registered reader above
+         the writer on a non-pruned written location or on a
+         removed-this-record location. Any overflowed registry degrades the
+         answer to {!Suffix}.}}
+      @raise Invalid_argument on a non-targeted instance. *)
+
+  val invalidated_readers : t -> txn_idx:int -> invalidation
+  (** Readers above [txn_idx] registered on the locations its last finished
+      incarnation wrote — the precise set a validation abort invalidates.
+      Call {e before} {!convert_writes_to_estimates}: late readers either
+      hit the ESTIMATEs (failing through the dependency / validation paths)
+      or are caught by the re-execution's {!record_targeted}. Returns
+      {!Suffix} on any registry overflow or on a non-targeted instance. *)
 
   val convert_writes_to_estimates : t -> int -> unit
   (** Algorithm 2, called on abort: the aborted incarnation's entries become
@@ -123,4 +210,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   val entry_count : t -> int
   (** Diagnostic: number of version entries currently stored. *)
+
+  val iter_reader_registries : t -> f:(used:int -> overflowed:bool -> unit) -> unit
+  (** Diagnostic (targeted mode): calls [f] once per location registry with
+      its occupied slot count and overflow flag. No-op otherwise. *)
 end

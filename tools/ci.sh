@@ -1,13 +1,17 @@
 #!/bin/sh
 # The full local CI gate: build, run every test, check the odoc build is
 # warning-free, and enforce the perf invariants of the lock-free hot paths:
-#   - Mvmemory.read / find_cell must not acquire a mutex (grep gate);
+#   - Mvmemory.read / find_slot / find_cell / reg_register must not acquire
+#     a mutex (grep gate);
 #   - the cross-domain stress suite passes (covers 1/2/4/8-domain runs);
 #   - on a multi-core host, the 4-domain scaling point must not fall below
 #     the 1-domain point on the low-contention workload. On single-core
 #     hosts (where real-domain scaling is physically impossible) the bench
 #     still runs but the comparison is report-only; set
-#     BLOCKSTM_SCALING_GATE=1 to force enforcement.
+#     BLOCKSTM_SCALING_GATE=1 to force enforcement;
+#   - targeted revalidation (DESIGN.md §10) must not validate more than the
+#     paper's suffix scheme on the low-contention p2p workload. Same
+#     multi-core gating as above; force with BLOCKSTM_TARGETED_GATE=1.
 # Usage: tools/ci.sh   (run from the repository root)
 set -eu
 
@@ -16,11 +20,13 @@ dune runtest
 tools/check_doc.sh
 
 # --- Lock-free gate ---------------------------------------------------------
-# The MVMemory read hit path must perform zero mutex acquisitions: extract
-# the bodies of find_cell and read (top-level "let <fn> ..." up to the next
-# blank line) and fail on any mention of Mutex.
-for fn in find_cell read; do
-  body=$(awk "/^  let $fn /{f=1} f{print; if (\$0 ~ /^\$/) exit}" \
+# The MVMemory read hit path — including the targeted-mode reader
+# registration it performs — must acquire zero mutexes: extract the bodies
+# of find_slot, find_cell, read and reg_register (top-level
+# "let [rec] <fn> ..." up to the next blank line) and fail on any mention
+# of Mutex.
+for fn in find_slot find_cell read reg_register; do
+  body=$(awk "/^  let (rec )?$fn /{f=1} f{print; if (\$0 ~ /^\$/) exit}" \
     lib/mvmemory/mvmemory.ml)
   if [ -z "$body" ]; then
     echo "ci: FAIL — could not locate Mvmemory.$fn for the lock-free gate"
@@ -31,7 +37,7 @@ for fn in find_cell read; do
     exit 1
   fi
 done
-echo "ci: lock-free gate passed (Mvmemory.read / find_cell take no mutex)"
+echo "ci: lock-free gate passed (Mvmemory read path takes no mutex)"
 
 # --- Cross-domain test pass -------------------------------------------------
 # The scaling_stress suite runs the engine on 1/2/4/8 real domains and
@@ -56,6 +62,31 @@ if [ "$cores" -ge 4 ] || [ "${BLOCKSTM_SCALING_GATE:-0}" = "1" ]; then
   echo "ci: scaling gate passed (BSTM-4 $tps4 tps >= BSTM-1 $tps1 tps)"
 else
   echo "ci: scaling gate report-only on $cores core(s): BSTM-1 $tps1 tps, BSTM-4 $tps4 tps"
+fi
+
+# --- Targeted revalidation smoke --------------------------------------------
+# Targeted mode (DESIGN.md §10) exists to do strictly less validation work
+# than the paper's suffix revalidation; on the low-contention p2p point it
+# must not do more. --verify also checks the result against sequential.
+tval() {
+  dune exec bin/blockstm_cli.exe -- run -w p2p -a 1000 -b 1000 -d 4 \
+    --seed 42 --verify "$@" \
+    | tr ';' '\n' | sed -n 's/^.*[{ ]validations=//p' | head -n1
+}
+vpaper=$(tval)
+vtarg=$(tval --targeted)
+if [ -z "$vpaper" ] || [ -z "$vtarg" ]; then
+  echo "ci: FAIL — could not parse validations= from the CLI metrics line"
+  exit 1
+fi
+if [ "$cores" -ge 4 ] || [ "${BLOCKSTM_TARGETED_GATE:-0}" = "1" ]; then
+  if [ "$vtarg" -gt "$vpaper" ]; then
+    echo "ci: FAIL — targeted revalidation ran $vtarg validations > paper's $vpaper on low-contention p2p"
+    exit 1
+  fi
+  echo "ci: targeted gate passed ($vtarg validations <= paper's $vpaper)"
+else
+  echo "ci: targeted gate report-only on $cores core(s): paper $vpaper, targeted $vtarg validations"
 fi
 
 echo "ci: all checks passed"
