@@ -1,10 +1,11 @@
 (** Machine-readable bench output (the [--json] mode of [bench/main.exe] and
-    [blockstm exp]): accumulates every table the experiments print, plus raw
-    per-seed measurement samples with p50/p95/p99 summaries, and renders one
-    JSON document — schema ["blockstm-bench/1"]:
+    [blockstm exp]): accumulates every table the experiments print, raw
+    per-seed measurement samples with p50/p95/p99 summaries, and bucketed
+    distributions (e.g. per-transaction execution times), and renders one
+    JSON document — schema ["blockstm-bench/5"]:
 
     {v
-    { "schema": "blockstm-bench/1",
+    { "schema": "blockstm-bench/5",
       "mode": "quick" | "full",
       "experiments": [
         { "name": "fig3", "description": "...",
@@ -12,8 +13,16 @@
           "samples": { "<label>": { "samples": [...],
                                     "summary": { "n", "mean", "stddev",
                                                  "min", "p50", "p95",
-                                                 "p99", "max" } } } } ] }
+                                                 "p99", "max" } } },
+          "histograms": { "<label>": {
+                            "summary": { ... as above ... },
+                            "buckets": [ { "le": 4096, "count": 17 }, ... ] } }
+        } ] }
     v}
+
+    Histogram buckets are powers of two: bucket [le] counts samples in
+    [(le/2, le]]; [le = 0] collects non-positive samples. Empty buckets are
+    omitted.
 
     Table cells that parse as finite numbers are emitted as JSON numbers;
     formatted cells ("1.5x", "50%", "inf") stay strings. Global,
@@ -39,6 +48,11 @@ val emit_table : Blockstm_stats.Table.t -> unit
 val sample : label:string -> float -> unit
 (** Record one raw measurement (e.g. the tps of a single seed) under the
     current experiment. *)
+
+val histogram : label:string -> float array -> unit
+(** Record a full distribution (e.g. one per-transaction execution-time
+    array) under the current experiment as power-of-two buckets plus a
+    summary. Empty arrays are ignored. *)
 
 val to_json : unit -> Blockstm_obs.Json.t
 

@@ -414,8 +414,8 @@ let exp_cmd =
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
                 gas-sharding, real, scaling, commit-latency, \
-                validation-cost, minimove, micro). Repeatable; default: \
-                all.")
+                validation-cost, minimove, vm-cost, micro). Repeatable; \
+                default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
@@ -487,6 +487,26 @@ let minimove_cmd =
       & info [ "coin-accounts" ] ~docv:"N"
           ~doc:"Pre-fund N coin accounts (addresses 1..N) before running.")
   in
+  let vm_arg =
+    let vm_conv =
+      Arg.conv
+        ( (fun s ->
+            match Blockstm_minimove.Runtime.vm_of_string s with
+            | Some vm -> Ok vm
+            | None ->
+                Error (`Msg (Fmt.str "unknown vm %S (tree-walk|compiled)" s))),
+          fun ppf vm ->
+            Fmt.string ppf (Blockstm_minimove.Runtime.vm_name vm) )
+    in
+    Arg.(
+      value
+      & opt vm_conv Blockstm_minimove.Runtime.Compiled
+      & info [ "vm" ] ~docv:"VM"
+          ~doc:
+            "MiniMove VM: $(b,compiled) (closure-compiled, the default) or \
+             $(b,tree-walk) (the reference interpreter). Both produce \
+             identical results.")
+  in
   let parse_arg s =
     let s = String.trim s in
     if s = "" then None
@@ -499,10 +519,10 @@ let minimove_cmd =
            (int_of_string (String.sub s 1 (String.length s - 1))))
     else Some (Blockstm_minimove.Mv_value.Value.Int (int_of_string s))
   in
-  let action file args genesis =
+  let action file args genesis vm =
     let open Blockstm_minimove in
     let src = In_channel.with_open_text file In_channel.input_all in
-    match Interp.compile src with
+    match Runtime.load ~vm src with
     | exception Lexer.Lex_error (m, l) ->
         Fmt.epr "lex error (line %d): %s@." l m;
         exit 2
@@ -512,7 +532,7 @@ let minimove_cmd =
     | exception Check.Check_error m ->
         Fmt.epr "check error: %s@." m;
         exit 2
-    | compiled ->
+    | script ->
         let args =
           String.split_on_char ',' args |> List.filter_map parse_arg
         in
@@ -523,7 +543,7 @@ let minimove_cmd =
         let r =
           Runtime.Seq.run
             ~storage:(Runtime.Store.reader store)
-            [| Interp.txn compiled ~args |]
+            [| Runtime.script_txn script ~args |]
         in
         (match r.outputs.(0) with
         | Blockstm_kernel.Txn.Success v ->
@@ -535,7 +555,7 @@ let minimove_cmd =
             Fmt.pr "write: %a = %a@." Mv_value.Loc.pp l Mv_value.Value.pp v)
           r.snapshot
   in
-  let term = Term.(const action $ file $ args_arg $ genesis) in
+  let term = Term.(const action $ file $ args_arg $ genesis $ vm_arg) in
   Cmd.v (Cmd.info "minimove" ~doc:"Compile and run a MiniMove script") term
 
 (* --- main ------------------------------------------------------------------- *)

@@ -118,6 +118,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             the suffix pullback as the registry-overflow backstop. Default
             [false]: paper-faithful behavior, byte-identical results.
             Requires [use_estimates]. *)
+    record_exec_ns : bool;
+        (** Record the wall-clock VM execution time of each transaction's
+            final incarnation in [result.exec_ns] (the vm-cost experiment's
+            per-txn histogram). Default [false]: the hot path takes no
+            timestamps. *)
   }
 
   let default_config =
@@ -130,6 +135,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       rolling_commit = false;
       mv_nshards = 64;
       targeted_validation = false;
+      record_exec_ns = false;
     }
 
   type 'o result = {
@@ -139,6 +145,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     commit_ns : int array;
         (** Per-transaction time-to-commit (ns since the instance was
             created), in preset order. Empty unless [rolling_commit]. *)
+    exec_ns : int array;
+        (** Per-transaction VM execution time (ns) of the final — i.e.
+            committed — incarnation, in preset order. Empty unless
+            [record_exec_ns]. *)
   }
 
   (* ---------------------------------------------------------------------- *)
@@ -216,6 +226,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
        read after all domains join. [t0_ns] is the latency origin. *)
     t0_ns : int;
     commit_ns : int array;
+    exec_ns : int array;
+        (* Slot [j] is written only by the executor of tx_j's incarnations
+           (sequential per Corollary 1, same argument as [outputs]) and read
+           after all domains join. Each incarnation overwrites, so the final
+           value is the committed incarnation's. *)
     on_commit : (int -> 'o txn_output -> unit) option;
   }
 
@@ -301,6 +316,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       trace;
       t0_ns = Trace.now_ns ();
       commit_ns = (if config.rolling_commit then Array.make n (-1) else [||]);
+      exec_ns = (if config.record_exec_ns then Array.make n 0 else [||]);
       on_commit;
     }
 
@@ -550,6 +566,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             Atomic.exchange inst.suspensions.(txn_idx) None
           else None
         in
+        let t0 = if inst.cfg.record_exec_ns then Trace.now_ns () else 0 in
         let outcome, prefix_paid =
           match stashed with
           | Some s when prefix_valid inst ~txn_idx s.s_prefix ->
@@ -581,6 +598,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 | None -> vm_execute inst ~txn_idx),
                 0 )
         in
+        (if inst.cfg.record_exec_ns then
+           match outcome with
+           | Vm_done _ -> inst.exec_ns.(txn_idx) <- Trace.now_ns () - t0
+           | Vm_blocked _ -> ());
         match outcome with
         | Vm_blocked { blocking; reads_so_far; suspension } ->
             P_exec_dep { version; blocking; reads = reads_so_far; suspension }
@@ -861,6 +882,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           inst.outputs;
       metrics = metrics_of inst;
       commit_ns = Array.copy inst.commit_ns;
+      exec_ns = Array.copy inst.exec_ns;
     }
 
   (** Execute a block. [storage] is the pre-block state; [txns] the block in
@@ -877,6 +899,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         outputs = [||];
         metrics = metrics_of inst;
         commit_ns = [||];
+        exec_ns = [||];
       }
     else begin
       let others =

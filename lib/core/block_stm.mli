@@ -107,6 +107,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             re-validated (registry overflow degrades back to the paper's
             suffix pullback, never to unsoundness). Default [false]:
             paper-faithful behavior. Requires [use_estimates]. *)
+    record_exec_ns : bool;
+        (** Record the wall-clock VM execution time of each transaction's
+            final (committed) incarnation in [result.exec_ns] — the vm-cost
+            experiment's per-txn histogram source. Default [false]: the hot
+            path takes no timestamps. *)
   }
 
   val default_config : config
@@ -120,6 +125,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     commit_ns : int array;
         (** Per-transaction time-to-commit (ns since the instance was
             created), in preset order. Empty unless [rolling_commit]. *)
+    exec_ns : int array;
+        (** Per-transaction VM execution time (ns) of the committed
+            incarnation, in preset order. Empty unless [record_exec_ns]. *)
   }
 
   type 'o instance

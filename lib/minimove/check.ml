@@ -105,17 +105,21 @@ let check_func ~funcs (f : func) : unit =
   in
   check_stmts ~funcs ~scope:seen f.body
 
+(** The program's callable-function table ({!builtins} plus every defined
+    function, name to arity), rejecting duplicate definitions — shared by
+    {!check} and the {!Compile} pass's call resolution. *)
+let func_table (p : program) : (string * int) list =
+  List.fold_left
+    (fun acc (f : func) ->
+      if List.mem_assoc f.fname acc then
+        fail "duplicate function '%s'" f.fname;
+      (f.fname, List.length f.params) :: acc)
+    builtins p.funcs
+
 (** Check a whole program. [require_main] (default true) additionally
     demands a [main] entry point. *)
 let check ?(require_main = true) (p : program) : unit =
-  let funcs =
-    List.fold_left
-      (fun acc (f : func) ->
-        if List.mem_assoc f.fname acc then
-          fail "duplicate function '%s'" f.fname;
-        (f.fname, List.length f.params) :: acc)
-      builtins p.funcs
-  in
+  let funcs = func_table p in
   List.iter (check_func ~funcs) p.funcs;
   if require_main && not (List.mem_assoc "main" funcs) then
     fail "program has no 'main' function"

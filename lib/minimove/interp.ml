@@ -24,6 +24,9 @@ let compile ?(require_main = true) (src : string) : compiled =
   Check.check ~require_main prog;
   { prog; src_hash = Hashtbl.hash src }
 
+(** The checked AST, for downstream passes ({!Compile}). *)
+let ast (c : compiled) : Ast.program = c.prog
+
 exception Return_value of Value.t
 
 type frame = (string, Value.t) Hashtbl.t

@@ -20,6 +20,9 @@ val compile : ?require_main:bool -> string -> compiled
     @raise Parser.Parse_error on syntax errors
     @raise Check.Check_error on unbound variables, arity mismatches, etc. *)
 
+val ast : compiled -> Ast.program
+(** The checked AST, for downstream passes ({!Compile}). *)
+
 val default_gas_limit : int
 
 val run :

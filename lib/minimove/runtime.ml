@@ -14,6 +14,52 @@ module LitmX = Blockstm_baselines.Litm.Make (Loc) (Value)
 
 let loc ~addr ~resource = Loc.make ~addr ~resource
 
+(** {2 VM selection}
+
+    Workloads and tools pick the VM once per block; both VMs run the same
+    checked AST with identical observable behaviour (see {!Compile}). *)
+
+type vm = Tree_walk | Compiled
+
+let vm_name = function Tree_walk -> "tree-walk" | Compiled -> "compiled"
+
+let vm_of_string = function
+  | "tree-walk" | "tree_walk" | "interp" -> Some Tree_walk
+  | "compiled" | "closure" -> Some Compiled
+  | _ -> None
+
+(** A script loaded for one of the two VMs. *)
+type script =
+  | S_interp of Interp.compiled
+  | S_compiled of Compile.compiled
+
+(** Parse, check and load [src] for the chosen VM (default [Compiled]).
+    [intern_addrs] sizes the compiled VM's interned location-key tables;
+    workloads pass their account count so every hot key is preallocated. *)
+let load ?(vm = Compiled) ?intern_addrs (src : string) : script =
+  match vm with
+  | Tree_walk -> S_interp (Interp.compile src)
+  | Compiled -> S_compiled (Compile.compile ?intern_addrs src)
+
+let script_run ?entry ?gas_limit (s : script) ~args effects : Value.t =
+  match s with
+  | S_interp c -> Interp.run ?entry ?gas_limit c ~args effects
+  | S_compiled c -> Compile.run ?entry ?gas_limit c ~args effects
+
+(** Package a loaded script as a transaction for any executor. *)
+let script_txn ?entry ?gas_limit (s : script) ~args :
+    (Loc.t, Value.t, Value.t) Blockstm_kernel.Txn.t =
+  match s with
+  | S_interp c -> Interp.txn ?entry ?gas_limit c ~args
+  | S_compiled c -> Compile.txn ?entry ?gas_limit c ~args
+
+(** Transaction variant whose output is [(result, gas_used)]. *)
+let script_txn_with_gas ?entry ?gas_limit (s : script) ~args :
+    (Loc.t, Value.t, Value.t * int) Blockstm_kernel.Txn.t =
+  match s with
+  | S_interp c -> Interp.txn_with_gas ?entry ?gas_limit c ~args
+  | S_compiled c -> Compile.txn_with_gas ?entry ?gas_limit c ~args
+
 (** Genesis for the {!Stdlib_contracts.coin_source} contract: on-chain
     config at address 0, [num_accounts] funded accounts (addresses 1..n). *)
 let coin_genesis ?(initial_balance = 1_000_000_000) ~num_accounts () : Store.t

@@ -48,6 +48,28 @@ fun main(sender, recipient, amount, exp_seq) {
 }
 |}
 
+(** Simplified p2p transfer over the same genesis layout as
+    {!coin_source}: sequence check, balance check, debit, credit, bump the
+    sender's sequence number — no on-chain-config prologue, no helper
+    calls, no recipient-account checks. 4 reads and 3 writes instead of the
+    standard script's 7 reads and 4 writes; the paper's "simplified"
+    workload variant. [main(sender, recipient, amount, exp_seq)] returns
+    the sender's new balance. *)
+let coin_simplified_source =
+  {|
+fun main(sender, recipient, amount, exp_seq) {
+  let acct = load(sender, Account);
+  assert(acct.seq == exp_seq, "sequence number mismatch");
+  let sbal = load(sender, Coin);
+  assert(sbal.value >= amount, "insufficient balance");
+  store(sender, Coin, Coin { value: sbal.value - amount });
+  let rbal = load(recipient, Coin);
+  store(recipient, Coin, Coin { value: rbal.value + amount });
+  store(sender, Account, Account { seq: acct.seq + 1, frozen: acct.frozen });
+  return sbal.value - amount;
+}
+|}
+
 (** Shared counter: every call increments the counter owned by [owner].
     Fully sequential when all transactions target the same owner. *)
 let counter_source =

@@ -18,4 +18,5 @@ let () =
       ("scaling_stress", Test_scaling_stress.suite);
       ("chain", Test_chain.suite);
       ("properties", Test_props.suite);
+      ("vm_diff", Test_vm_diff.suite);
     ]

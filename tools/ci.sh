@@ -11,7 +11,12 @@
 #     BLOCKSTM_SCALING_GATE=1 to force enforcement;
 #   - targeted revalidation (DESIGN.md §10) must not validate more than the
 #     paper's suffix scheme on the low-contention p2p workload. Same
-#     multi-core gating as above; force with BLOCKSTM_TARGETED_GATE=1.
+#     multi-core gating as above; force with BLOCKSTM_TARGETED_GATE=1;
+#   - location-key interning (DESIGN.md §11): Compile.intern_get's hit path
+#     must stay allocation- and lock-free (grep gate);
+#   - the compiled MiniMove VM must stay >= 2x the tree-walk interpreter on
+#     the p2p standard workload at 1 domain (vm-cost smoke; the pure-VM
+#     replay row, which is immune to single-core scheduling noise).
 # Usage: tools/ci.sh   (run from the repository root)
 set -eu
 
@@ -88,5 +93,45 @@ if [ "$cores" -ge 4 ] || [ "${BLOCKSTM_TARGETED_GATE:-0}" = "1" ]; then
 else
   echo "ci: targeted gate report-only on $cores core(s): paper $vpaper, targeted $vtarg validations"
 fi
+
+# --- Location-key interning gate --------------------------------------------
+# The interned-location hit path (DESIGN.md §11) is what keeps every
+# storage access in compiled code allocation-free: extract the body of the
+# top-level Compile.intern_get (up to the next blank line) and fail if it
+# allocates a key (Loc.make), hashes (Hashtbl) or locks (Mutex) — those
+# belong only in the intern_slow fallback.
+body=$(awk '/^let intern_get /{f=1} f{print; if ($0 ~ /^$/) exit}' \
+  lib/minimove/compile.ml)
+if [ -z "$body" ]; then
+  echo "ci: FAIL — could not locate Compile.intern_get for the interning gate"
+  exit 1
+fi
+if printf '%s' "$body" | grep -Eq "Loc\.make|Hashtbl|Mutex"; then
+  echo "ci: FAIL — Compile.intern_get hit path allocates/hashes/locks; keep that in intern_slow"
+  exit 1
+fi
+echo "ci: interning gate passed (Compile.intern_get hit path is allocation-free)"
+
+# --- Compiled-VM smoke ------------------------------------------------------
+# The vm-cost experiment (EXPERIMENTS.md) compares the tree-walk interpreter
+# against the compiled VM. Gate on the "vm" executor rows — a read-trace
+# replay that isolates pure VM cost, so the ratio is stable even on a
+# single, oversubscribed core. The standard-flavor compiled row must hold
+# at least 2x tree-walk (measured ~6x; the gate leaves wide noise margin).
+out=$(dune exec bin/blockstm_cli.exe -- exp --id vm-cost)
+printf '%s\n' "$out"
+vm_tree=$(printf '%s\n' "$out" \
+  | awk '$1=="standard" && $2=="tree-walk" && $3=="vm" && $4=="1" {print int($5)}')
+vm_comp=$(printf '%s\n' "$out" \
+  | awk '$1=="standard" && $2=="compiled" && $3=="vm" && $4=="1" {print int($5)}')
+if [ -z "$vm_tree" ] || [ -z "$vm_comp" ] || [ "$vm_tree" -le 0 ]; then
+  echo "ci: FAIL — vm-cost did not report tree-walk and compiled tps on the standard vm rows"
+  exit 1
+fi
+if [ "$vm_comp" -lt $((2 * vm_tree)) ]; then
+  echo "ci: FAIL — compiled VM ($vm_comp tps) < 2x tree-walk ($vm_tree tps) on p2p standard"
+  exit 1
+fi
+echo "ci: vm-cost gate passed (compiled $vm_comp tps >= 2x tree-walk $vm_tree tps)"
 
 echo "ci: all checks passed"
