@@ -700,6 +700,82 @@ let validation_cost mode =
     accounts_grid;
   Report.emit_table t
 
+(* --- Hotspot deltas: commutative aggregators vs the cliff (DESIGN.md §12) --- *)
+
+let hotspot_delta mode =
+  let block = 1_000 in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Hotspot deltas: paper read-modify-write vs commutative delta \
+            entries (hotspot p2p, block %d, virtual time)"
+           block)
+      ~header:
+        [
+          "hot";
+          "threads";
+          "paper";
+          "deltas";
+          "speedup";
+          "paper-aborts/txn";
+          "delta-applies/txn";
+        ]
+  in
+  let n = reps mode in
+  List.iter
+    (fun hot ->
+      List.iter
+        (fun threads ->
+          (* Same transfer blocks (same seeds) in both modes; only the
+             engine's delta routing differs. *)
+          let tps_of ~delta_ops aborts applies =
+            avg_over_seeds
+              ~label:
+                (Printf.sprintf "hotspot-delta/%s/hot=%d/block=%d/threads=%d"
+                   (if delta_ops then "deltas" else "paper")
+                   hot block threads)
+              mode
+              (fun seed ->
+                let w =
+                  P2p.generate_hotspot
+                    {
+                      P2p.default_hotspot_spec with
+                      h_hot_accounts = hot;
+                      h_block_size = block;
+                      h_seed = seed;
+                    }
+                in
+                let config = { Harness.Bstm.default_config with delta_ops } in
+                let result, stats =
+                  Harness.sim_blockstm ~config ~num_threads:threads
+                    ~storage:w.h_storage w.h_txns
+                in
+                aborts := !aborts + result.metrics.validation_aborts;
+                applies := !applies + result.metrics.delta_applies;
+                VE.tps ~txns:block stats)
+          in
+          let paper_aborts = ref 0 and paper_applies = ref 0 in
+          let delta_aborts = ref 0 and delta_applies = ref 0 in
+          let paper = tps_of ~delta_ops:false paper_aborts paper_applies in
+          let deltas = tps_of ~delta_ops:true delta_aborts delta_applies in
+          let per x =
+            Printf.sprintf "%.3f" (float_of_int x /. float_of_int (n * block))
+          in
+          T.add_row t
+            [
+              string_of_int hot;
+              string_of_int threads;
+              fmt_tps paper;
+              fmt_tps deltas;
+              fmt_x (deltas /. paper);
+              per !paper_aborts;
+              per !delta_applies;
+            ])
+        [ 1; 2; 4; 8 ])
+    [ 2; 10; 100 ];
+  Report.emit_table t
+
 (* --- MiniMove end-to-end throughput ---------------------------------------- *)
 
 let minimove mode =
@@ -779,7 +855,12 @@ let mm_read_traces ~storage (txns : (_, _, 'o) Blockstm_kernel.Txn.t array) :
         v
       in
       let write loc v = Hashtbl.replace overlay loc v in
-      ignore (txn { Txn.read; write });
+      let delta =
+        Txn.rmw_delta ~read ~write
+          ~as_counter:Blockstm_minimove.Mv_value.Value.as_counter
+          ~of_counter:Blockstm_minimove.Mv_value.Value.of_counter
+      in
+      ignore (txn { Txn.read; write; delta });
       Array.of_list (List.rev !buf))
     txns
 
@@ -795,7 +876,14 @@ let mm_replay (txns : (_, _, 'o) Blockstm_kernel.Txn.t array) traces =
         v
       in
       let write _ _ = () in
-      ignore (txn { Txn.read; write }))
+      (* Consumes one trace slot per delta op, mirroring the recording
+         side's read-modify-write implementation. *)
+      let delta =
+        Txn.rmw_delta ~read ~write
+          ~as_counter:Blockstm_minimove.Mv_value.Value.as_counter
+          ~of_counter:Blockstm_minimove.Mv_value.Value.of_counter
+      in
+      ignore (txn { Txn.read; write; delta }))
     txns
 
 let vm_cost mode =
@@ -924,6 +1012,7 @@ let all : (string * string * (mode -> unit)) list =
     ("scaling", "Real-domain scaling curve, low contention", scaling);
     ("commit-latency", "Rolling commit: time-to-commit percentiles", commit_latency);
     ("validation-cost", "Validation cost: suffix vs targeted revalidation (§10)", validation_cost);
+    ("hotspot-delta", "Hotspot deltas: commutative aggregators vs RMW (§12)", hotspot_delta);
     ("minimove", "MiniMove interpreter end-to-end", minimove);
     ("vm-cost", "VM cost: tree-walk vs compiled MiniMove VM (§11)", vm_cost);
   ]

@@ -20,6 +20,7 @@ open Blockstm_workload
 type workload_kind =
   | W_p2p
   | W_p2p_simplified
+  | W_p2p_hotspot
   | W_hotspot
   | W_independent
   | W_zipfian
@@ -31,6 +32,7 @@ let workload_conv =
   let parse = function
     | "p2p" -> Ok W_p2p
     | "p2p-simplified" -> Ok W_p2p_simplified
+    | "p2p-hotspot" -> Ok W_p2p_hotspot
     | "hotspot" -> Ok W_hotspot
     | "independent" -> Ok W_independent
     | "zipfian" -> Ok W_zipfian
@@ -44,6 +46,7 @@ let workload_conv =
       (match w with
       | W_p2p -> "p2p"
       | W_p2p_simplified -> "p2p-simplified"
+      | W_p2p_hotspot -> "p2p-hotspot"
       | W_hotspot -> "hotspot"
       | W_independent -> "independent"
       | W_zipfian -> "zipfian"
@@ -59,8 +62,9 @@ let workload_arg =
     & opt workload_conv W_p2p
     & info [ "w"; "workload" ] ~docv:"KIND"
         ~doc:
-          "Workload: p2p, p2p-simplified, hotspot, independent, zipfian, \
-           read-heavy, chain, churn.")
+          "Workload: p2p, p2p-simplified, p2p-hotspot (fee-sink transfers \
+           through commutative deltas — pair with $(b,--deltas)), hotspot, \
+           independent, zipfian, read-heavy, chain, churn.")
 
 let accounts_arg =
   Arg.(
@@ -100,6 +104,19 @@ let build_workload kind ~accounts ~block ~seed ~theta :
       ( { Synthetic.storage = w.storage; txns = w.txns;
           declared_writes = w.declared_writes },
         Some w.declared_writes )
+  | W_p2p_hotspot ->
+      let w =
+        P2p.generate_hotspot
+          {
+            P2p.default_hotspot_spec with
+            h_num_accounts = accounts;
+            h_block_size = block;
+            h_seed = seed;
+          }
+      in
+      ( { Synthetic.storage = w.h_storage; txns = w.h_txns;
+          declared_writes = w.h_declared_writes },
+        Some w.h_declared_writes )
   | W_hotspot -> (Synthetic.hotspot ~block_size:block, None)
   | W_independent -> (Synthetic.independent ~block_size:block, None)
   | W_zipfian ->
@@ -179,6 +196,17 @@ let run_cmd =
              whole-suffix revalidation (blockstm executor only; incompatible \
              with $(b,--no-estimates)).")
   in
+  let deltas =
+    Arg.(
+      value & flag
+      & info [ "deltas" ]
+          ~doc:
+            "Commutative delta entries (DESIGN.md §12): bounded aggregator \
+             updates publish range-validated deltas instead of falling back \
+             to read-modify-write, so hotspot workloads (p2p-hotspot, \
+             MiniMove agg_add/agg_sub) stop serializing on hot locations \
+             (blockstm executor only; composes with every other flag).")
+  in
   let pipeline =
     Arg.(
       value & flag
@@ -253,7 +281,7 @@ let run_cmd =
         exit 1
   in
   let action workload accounts block seed theta executor domains suspend
-      no_estimates rolling targeted pipeline blocks verify trace_out =
+      no_estimates rolling targeted deltas pipeline blocks verify trace_out =
     let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let config =
@@ -264,6 +292,7 @@ let run_cmd =
         use_estimates = not no_estimates;
         rolling_commit = rolling;
         targeted_validation = targeted;
+        delta_ops = deltas;
       }
     in
     if pipeline then run_pipeline g config executor blocks n
@@ -345,7 +374,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
       $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
-      $ targeted $ pipeline $ blocks $ verify $ trace_out)
+      $ targeted $ deltas $ pipeline $ blocks $ verify $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -362,7 +391,13 @@ let sim_cmd =
   let suspend =
     Arg.(value & flag & info [ "suspend-resume" ] ~doc:"Suspend/resume mode.")
   in
-  let action workload accounts block seed theta threads suspend =
+  let deltas =
+    Arg.(
+      value & flag
+      & info [ "deltas" ]
+          ~doc:"Commutative delta entries (DESIGN.md §12).")
+  in
+  let action workload accounts block seed theta threads suspend deltas =
     let g, _ = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let seq_us = Harness.sim_sequential_makespan ~storage:g.storage g.txns in
@@ -376,7 +411,11 @@ let sim_cmd =
     List.iter
       (fun threads ->
         let config =
-          { Harness.Bstm.default_config with suspend_resume = suspend }
+          {
+            Harness.Bstm.default_config with
+            suspend_resume = suspend;
+            delta_ops = deltas;
+          }
         in
         let result, stats =
           Harness.sim_blockstm ~config ~num_threads:threads
@@ -399,7 +438,7 @@ let sim_cmd =
   let term =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
-      $ theta_arg $ threads $ suspend)
+      $ theta_arg $ threads $ suspend $ deltas)
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Virtual-time thread-scaling sweep (see DESIGN.md)")
@@ -414,8 +453,8 @@ let exp_cmd =
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
                 gas-sharding, real, scaling, commit-latency, \
-                validation-cost, minimove, vm-cost, micro). Repeatable; \
-                default: all.")
+                validation-cost, hotspot-delta, minimove, vm-cost, micro). \
+                Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")

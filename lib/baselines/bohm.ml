@@ -196,7 +196,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             | None -> storage loc)
       in
       let write loc v = LTbl.replace buffered loc v in
-      match txns.(j) { Txn.read; write } with
+      let delta =
+        Txn.rmw_delta ~read ~write ~as_counter:V.as_counter
+          ~of_counter:V.of_counter
+      in
+      match txns.(j) { Txn.read; write; delta } with
       | output -> finish j buffered (Txn.Success output)
       | exception Blocked k ->
           Atomic_util.incr m_blocked;

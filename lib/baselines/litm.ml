@@ -69,8 +69,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               | None -> storage loc)
         in
         let write loc v = LTbl.replace at_writes loc v in
+        let delta =
+          Txn.rmw_delta ~read ~write ~as_counter:V.as_counter
+            ~of_counter:V.of_counter
+        in
         let at_output =
-          match txns.(j) { Txn.read; write } with
+          match txns.(j) { Txn.read; write; delta } with
           | o -> Txn.Success o
           | exception e ->
               LTbl.reset at_writes;

@@ -40,8 +40,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               | None -> storage loc)
         in
         let write loc v = LTbl.replace buffered loc v in
+        let delta =
+          Txn.rmw_delta ~read ~write ~as_counter:V.as_counter
+            ~of_counter:V.of_counter
+        in
         let committed =
-          match txn { Txn.read; write } with
+          match txn { Txn.read; write; delta } with
           | _ -> true
           | exception _ -> false
         in

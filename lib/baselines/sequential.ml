@@ -41,7 +41,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 | None -> storage loc)
           in
           let write loc v = LTbl.replace buffered loc v in
-          match txn { Txn.read; write } with
+          let delta =
+            Txn.rmw_delta ~read ~write ~as_counter:V.as_counter
+              ~of_counter:V.of_counter
+          in
+          match txn { Txn.read; write; delta } with
           | output ->
               LTbl.iter (fun l v -> LTbl.replace overlay l v) buffered;
               total_writes := !total_writes + LTbl.length buffered;

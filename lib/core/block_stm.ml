@@ -65,16 +65,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     value_prune_hits : int;
         (** Writes pruned as value-equal republications (0 unless
             [targeted_validation]). *)
+    delta_applies : int;
+        (** Commutative delta entries recorded by committed-to-MVMemory
+            incarnations (0 unless [delta_ops]). *)
   }
 
   let pp_metrics ppf m =
     Fmt.pf ppf
       "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
        preval_skips=%d; resumed=%d; discarded=%d; commits=%d; targeted=%d; \
-       suffix_avoided=%d; prunes=%d }"
+       suffix_avoided=%d; prunes=%d; deltas=%d }"
       m.incarnations m.dependency_aborts m.validations m.validation_aborts
       m.prevalidation_skips m.resumptions m.discarded_suspensions m.commits
       m.targeted_validations m.suffix_validations_avoided m.value_prune_hits
+      m.delta_applies
 
   type config = {
     num_domains : int;  (** Worker domains (>= 1). *)
@@ -118,6 +122,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             the suffix pullback as the registry-overflow backstop. Default
             [false]: paper-faithful behavior, byte-identical results.
             Requires [use_estimates]. *)
+    delta_ops : bool;
+        (** Commutative delta entries for hotspot state (DESIGN.md §12):
+            [Txn.effects.delta] publishes bounded add/sub operations as
+            MVMemory delta entries validated by {e range} instead of value
+            equality, so concurrent increments to one location no longer
+            abort each other. [false] (the default) routes
+            [Txn.effects.delta] through the instrumented read/write pair
+            ({!Txn.rmw_delta}), reproducing the paper's behavior
+            byte-identically. *)
     record_exec_ns : bool;
         (** Record the wall-clock VM execution time of each transaction's
             final incarnation in [result.exec_ns] (the vm-cost experiment's
@@ -135,6 +148,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       rolling_commit = false;
       mv_nshards = 64;
       targeted_validation = false;
+      delta_ops = false;
       record_exec_ns = false;
     }
 
@@ -169,6 +183,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let stat_vm_reads = 7
   let stat_vm_writes = 8
   let stat_value_prune_hits = 9
+  let stat_delta_applies = 10
 
   let stat_names =
     [|
@@ -182,6 +197,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       "vm_reads";
       "vm_writes";
       "value_prune_hits";
+      "delta_applies";
     |]
 
   type 'o instance = {
@@ -257,9 +273,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   and 'o vm_result = {
     vm_read_set : Mv.read_set;
     vm_write_set : Mv.write_set;
+    vm_delta_set : Mv.delta_set;
+        (** Composed commutative delta per location (delta_ops mode). *)
     vm_output : 'o txn_output;
     vm_reads : int;  (** Dynamic read count (cost accounting). *)
-    vm_writes : int;  (** Distinct locations written (cost accounting). *)
+    vm_writes : int;
+        (** Distinct locations written or delta'd (cost accounting). *)
   }
 
   let create_instance ?(config = default_config) ?declared_writes ?trace
@@ -282,7 +301,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       invalid_arg "Block_stm: targeted_validation requires use_estimates";
     let mv =
       Mv.create ~nshards:config.mv_nshards
-        ~targeted:config.targeted_validation ~block_size:n ()
+        ~targeted:config.targeted_validation ~storage ~block_size:n ()
     in
     (if config.prefill_estimates then
        match declared_writes with
@@ -338,10 +357,22 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     mutable r_len : int;
     s_writes : V.t LTbl.t;
     mutable s_worder : L.t list;  (** Write order, reversed; writes are few. *)
+    s_deltas : (int * Delta.t) LTbl.t;
+        (** Pending composed delta per location (delta_ops mode): the
+            external materialized base observed at the first delta op, and
+            the composition of every delta op since. *)
+    mutable s_dorder : L.t list;  (** Delta order, reversed. *)
   }
 
   let fresh_scratch () =
-    { r_buf = [||]; r_len = 0; s_writes = LTbl.create 64; s_worder = [] }
+    {
+      r_buf = [||];
+      r_len = 0;
+      s_writes = LTbl.create 64;
+      s_worder = [];
+      s_deltas = LTbl.create 8;
+      s_dorder = [];
+    }
 
   let scratch_key = Domain.DLS.new_key fresh_scratch
 
@@ -373,34 +404,121 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     sc.r_len <- 0;
     LTbl.clear sc.s_writes;
     sc.s_worder <- [];
+    LTbl.clear sc.s_deltas;
+    sc.s_dorder <- [];
     let nreads = ref 0 in
     let read loc =
       incr nreads;
       match LTbl.find_opt sc.s_writes loc with
       | Some v -> Some v (* read-your-writes: not recorded in the read-set *)
-      | None ->
-          let rec attempt () =
-            match Mv.read inst.mv loc ~txn_idx with
-            | Mv.Read_error { blocking_txn_idx } ->
-                if inst.cfg.suspend_resume then begin
-                  (* Suspend here; when resumed, retry this same read. *)
-                  Effect.perform (Blocked_read blocking_txn_idx);
-                  attempt ()
-                end
-                else raise (Dependency blocking_txn_idx)
-            | Mv.Not_found ->
-                push_read sc (loc, Read_origin.Storage);
-                inst.storage loc
-            | Mv.Ok (version, value) ->
-                push_read sc (loc, Read_origin.Mv version);
-                Some value
-          in
-          attempt ()
+      | None -> (
+          match LTbl.find_opt sc.s_deltas loc with
+          | Some (b, c) ->
+              (* Value read over this transaction's own pending delta: the
+                 external observation is the materialized base [b] — pin it
+                 exactly, since the returned value depends on it. *)
+              push_read sc (loc, Read_origin.Counter b);
+              Some (V.of_counter (b + c.Delta.net))
+          | None ->
+              let rec attempt () =
+                match Mv.read inst.mv loc ~txn_idx with
+                | Mv.Read_error { blocking_txn_idx } ->
+                    if inst.cfg.suspend_resume then begin
+                      (* Suspend here; when resumed, retry this same read. *)
+                      Effect.perform (Blocked_read blocking_txn_idx);
+                      attempt ()
+                    end
+                    else raise (Dependency blocking_txn_idx)
+                | Mv.Not_found ->
+                    push_read sc (loc, Read_origin.Storage);
+                    inst.storage loc
+                | Mv.Ok (version, value) ->
+                    push_read sc (loc, Read_origin.Mv version);
+                    Some value
+                | Mv.Merged { value } ->
+                    (* Value read over lower transactions' delta entries:
+                       version-free, so pin the exact materialized sum. *)
+                    push_read sc (loc, Read_origin.Counter value);
+                    Some (V.of_counter value)
+              in
+              attempt ())
     in
     let write loc v =
+      if LTbl.length sc.s_deltas > 0 then LTbl.remove sc.s_deltas loc;
       if not (LTbl.mem sc.s_writes loc) then sc.s_worder <- loc :: sc.s_worder;
       LTbl.replace sc.s_writes loc v
     in
+    (* delta_ops off: route delta ops through the instrumented read/write
+       pair — exactly the sequential fallback, so recorded read/write sets
+       (and therefore scheduling and validation) are byte-identical to a
+       build without delta support. *)
+    let delta_off = Txn.rmw_delta ~read ~write ~as_counter:V.as_counter
+        ~of_counter:V.of_counter in
+    (* delta_ops on: accumulate a composed pending delta per location and
+       record a Range descriptor over its admissible bases (DESIGN.md §12),
+       instead of a value-equality read that concurrent increments abort. *)
+    let delta_on loc (d : Delta.t) : Txn.delta_outcome =
+      incr nreads;
+      match LTbl.find_opt sc.s_writes loc with
+      | Some v -> (
+          (* Own plain write buffered: plain read-modify-write on it. *)
+          match V.as_counter v with
+          | None -> Txn.Not_a_counter
+          | Some b -> (
+              match Delta.apply d b with
+              | Some r ->
+                  LTbl.replace sc.s_writes loc (V.of_counter r);
+                  Txn.Applied
+              | None -> Txn.Bounds_violation))
+      | None -> (
+          match LTbl.find_opt sc.s_deltas loc with
+          | Some (b, c) -> (
+              let c' = Delta.compose c d in
+              match Delta.apply c' b with
+              | Some _ ->
+                  LTbl.replace sc.s_deltas loc (b, c');
+                  let rlo, rhi = Delta.admissible c' in
+                  push_read sc (loc, Read_origin.Range { rlo; rhi });
+                  Txn.Applied
+              | None ->
+                  (* The outcome leaked the exact base: pin it. *)
+                  push_read sc (loc, Read_origin.Counter b);
+                  Txn.Bounds_violation)
+          | None -> (
+              (* First delta op on this location: materialize the external
+                 integer base (same walk the read path does). *)
+              let rec ext () =
+                match Mv.read inst.mv loc ~txn_idx with
+                | Mv.Read_error { blocking_txn_idx } ->
+                    if inst.cfg.suspend_resume then begin
+                      Effect.perform (Blocked_read blocking_txn_idx);
+                      ext ()
+                    end
+                    else raise (Dependency blocking_txn_idx)
+                | Mv.Merged { value } -> Some value
+                | Mv.Ok (_, value) -> V.as_counter value
+                | Mv.Not_found -> (
+                    match inst.storage loc with
+                    | None -> Some 0 (* absent counts as 0 *)
+                    | Some v -> V.as_counter v)
+              in
+              match ext () with
+              | None ->
+                  push_read sc (loc, Read_origin.Not_counter);
+                  Txn.Not_a_counter
+              | Some b -> (
+                  match Delta.apply d b with
+                  | Some _ ->
+                      LTbl.replace sc.s_deltas loc (b, d);
+                      sc.s_dorder <- loc :: sc.s_dorder;
+                      let rlo, rhi = Delta.admissible d in
+                      push_read sc (loc, Read_origin.Range { rlo; rhi });
+                      Txn.Applied
+                  | None ->
+                      push_read sc (loc, Read_origin.Counter b);
+                      Txn.Bounds_violation)))
+    in
+    let delta = if inst.cfg.delta_ops then delta_on else delta_off in
     let finish vm_output ~keep_writes =
       let vm_read_set = Array.sub sc.r_buf 0 sc.r_len in
       let vm_write_set =
@@ -411,16 +529,29 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           |> Array.of_list
         else [||]
       in
+      let vm_delta_set =
+        (* First-delta order; a later plain write to the location removed
+           its pending delta, so filter through the live table. *)
+        if keep_writes && sc.s_dorder <> [] then
+          sc.s_dorder |> List.rev
+          |> List.filter_map (fun loc ->
+                 match LTbl.find_opt sc.s_deltas loc with
+                 | Some (_, c) -> Some (loc, c)
+                 | None -> None)
+          |> Array.of_list
+        else [||]
+      in
       {
         vm_read_set;
         vm_write_set;
+        vm_delta_set;
         vm_output;
         vm_reads = !nreads;
-        vm_writes = LTbl.length sc.s_writes;
+        vm_writes = LTbl.length sc.s_writes + Array.length vm_delta_set;
       }
     in
     Effect.Deep.match_with
-      (fun () -> txn { Txn.read; write })
+      (fun () -> txn { Txn.read; write; delta })
       ()
       {
         retc =
@@ -463,12 +594,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let prefix_valid (inst : _ instance) ~txn_idx prefix : bool =
     Array.for_all
       (fun (loc, (origin : Read_origin.t)) ->
-        match (Mv.read inst.mv loc ~txn_idx, origin) with
-        | Mv.Read_error _, _ -> false
-        | Mv.Not_found, Storage -> true
-        | Mv.Not_found, Mv _ -> false
-        | Mv.Ok (v, _), Mv v' -> Version.equal v v'
-        | Mv.Ok _, Storage -> false)
+        Mv.validate_origin inst.mv loc ~txn_idx origin)
       prefix
 
   (* ---------------------------------------------------------------------- *)
@@ -622,11 +748,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         bump stats stat_incarnations;
         bump_by stats stat_vm_reads vm.vm_reads;
         bump_by stats stat_vm_writes vm.vm_writes;
+        bump_by stats stat_delta_applies (Array.length vm.vm_delta_set);
         inst.outputs.(txn_idx) <- Some vm.vm_output;
         let next =
           if inst.cfg.targeted_validation then begin
             let o =
-              Mv.record_targeted inst.mv version vm.vm_read_set vm.vm_write_set
+              Mv.record_targeted ~deltas:vm.vm_delta_set inst.mv version
+                vm.vm_read_set vm.vm_write_set
             in
             bump_by stats stat_value_prune_hits o.Mv.prune_hits;
             let reval =
@@ -639,7 +767,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           end
           else
             let wrote_new_location =
-              Mv.record inst.mv version vm.vm_read_set vm.vm_write_set
+              Mv.record ~deltas:vm.vm_delta_set inst.mv version vm.vm_read_set
+                vm.vm_write_set
             in
             Scheduler.finish_execution inst.sched ~txn_idx ~incarnation
               ~wrote_new_location
@@ -823,6 +952,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       targeted_validations = Scheduler.targeted_claims inst.sched;
       suffix_validations_avoided = Scheduler.suffix_avoided inst.sched;
       value_prune_hits = v stat_value_prune_hits;
+      delta_applies = v stat_delta_applies;
     }
 
   let sched (inst : _ instance) : Scheduler.t = inst.sched

@@ -65,6 +65,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     value_prune_hits : int;
         (** Writes pruned as value-equal republications (0 unless
             [targeted_validation]). *)
+    delta_applies : int;
+        (** Commutative delta entries recorded into MVMemory (0 unless
+            [delta_ops]). *)
   }
 
   val pp_metrics : Format.formatter -> metrics -> unit
@@ -107,6 +110,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             re-validated (registry overflow degrades back to the paper's
             suffix pullback, never to unsoundness). Default [false]:
             paper-faithful behavior. Requires [use_estimates]. *)
+    delta_ops : bool;
+        (** Commutative delta entries for hotspot state (DESIGN.md §12):
+            [Txn.effects.delta] operations publish bounded add/sub deltas as
+            MVMemory entries validated by {e range} membership instead of
+            value equality, so concurrent increments of one hot location no
+            longer abort each other; committed deltas are folded into
+            materialized values at snapshot/commit time. Default [false]:
+            delta ops fall back to a read-modify-write through the
+            instrumented read/write pair, reproducing the paper's behavior
+            byte-identically. Composes with every other flag. *)
     record_exec_ns : bool;
         (** Record the wall-clock VM execution time of each transaction's
             final (committed) incarnation in [result.exec_ns] — the vm-cost
@@ -162,7 +175,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   (** The live metrics registry: counters ["incarnations"],
       ["dependency_aborts"], ["validations"], ["validation_aborts"],
       ["prevalidation_skips"], ["resumptions"], ["discarded_suspensions"],
-      ["vm_reads"], ["vm_writes"], ["value_prune_hits"], ["commits"],
+      ["vm_reads"], ["vm_writes"], ["value_prune_hits"], ["delta_applies"],
+      ["commits"],
       ["targeted_validations"], ["suffix_validations_avoided"] and
       ["targeted_fallbacks"] (the targeted_* family populated at {!finalize},
       non-zero only with [targeted_validation]); histograms ["exec_step_ns"]

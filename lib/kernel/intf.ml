@@ -16,12 +16,26 @@ module type LOCATION = sig
   val pp : Format.formatter -> t -> unit
 end
 
-(** Values stored at memory locations. *)
+(** Values stored at memory locations.
+
+    [as_counter] / [of_counter] expose the integer view that commutative
+    delta operations act on (DESIGN.md §12): a value a delta can apply to
+    must round-trip ([as_counter (of_counter n) = Some n]); values with no
+    integer view answer [None] and delta ops on them report
+    [Not_a_counter]. *)
 module type VALUE = sig
   type t
 
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+
+  val as_counter : t -> int option
+  (** Integer view for commutative delta ops; [None] if the value is not
+      counter-typed. *)
+
+  val of_counter : int -> t
+  (** Build the value holding integer [n]; must satisfy
+      [as_counter (of_counter n) = Some n]. *)
 end
 
 (** Read-only snapshot of the state as of the beginning of the block: the

@@ -59,6 +59,14 @@ type stmt =
   | Let of string * expr  (** [let x = e;] introduces a local. *)
   | Assign of string * expr  (** [x = e;] rebinds a local. *)
   | Store of expr * string * expr  (** [store(addr, R, e);] global write. *)
+  | Agg_add of expr * string * expr
+      (** [agg_add(addr, R, e);] bounded commutative increment of an integer
+          resource (Move's aggregator): adds [e] with bounds [0, max_int].
+          Aborts on overflow, on a negative amount, or when the resource
+          holds a non-integer. *)
+  | Agg_sub of expr * string * expr
+      (** [agg_sub(addr, R, e);] bounded commutative decrement; aborts when
+          the balance would drop below 0. *)
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
   | Assert of expr * string  (** [assert(e, "msg");] aborts on false. *)
@@ -109,6 +117,10 @@ let rec pp_stmt ppf = function
   | Assign (x, e) -> Fmt.pf ppf "%s = %a;" x pp_expr e
   | Store (a, r, e) ->
       Fmt.pf ppf "store(%a, %s, %a);" pp_expr a r pp_expr e
+  | Agg_add (a, r, e) ->
+      Fmt.pf ppf "agg_add(%a, %s, %a);" pp_expr a r pp_expr e
+  | Agg_sub (a, r, e) ->
+      Fmt.pf ppf "agg_sub(%a, %s, %a);" pp_expr a r pp_expr e
   | If (c, t, []) ->
       Fmt.pf ppf "if (%a) { %a }" pp_expr c pp_stmts t
   | If (c, t, e) ->

@@ -68,7 +68,7 @@ let rec check_stmts ~funcs ~scope (stmts : stmt list) : unit =
               fail "assignment to unbound variable '%s'" x;
             check_expr ~funcs ~scope e;
             scope
-        | Store (a, _, v) ->
+        | Store (a, _, v) | Agg_add (a, _, v) | Agg_sub (a, _, v) ->
             check_expr ~funcs ~scope a;
             check_expr ~funcs ~scope v;
             scope

@@ -92,6 +92,12 @@ let intern_make ~capacity resource =
 
 let intern_slow (t : intern) addr = Loc.make ~addr ~resource:t.i_resource
 
+(** Location key for [addr] under this table's resource. Hit path (addr
+    within the preallocated range): a bounds check plus [Array.unsafe_get],
+    zero allocation — this body is grep-audited by tools/ci.sh, keep it
+    allocation- and lock-free. Miss path: allocate a fresh key, exactly what
+    the tree-walk VM does on every access, so behaviour (not cost) is
+    range-independent. *)
 let intern_get (t : intern) (addr : int) : Loc.t =
   if addr >= 0 && addr < Array.length t.i_locs then Array.unsafe_get t.i_locs addr
   else intern_slow t addr
@@ -828,6 +834,59 @@ and compile_test env scope (e : Ast.expr) :
 
 (* --- The statement compiler ------------------------------------------------ *)
 
+(* The effect point of agg_add/agg_sub, shared by both compiled paths. Gas
+   and failure messages mirror the tree-walk [Interp.exec_agg] exactly. *)
+let run_agg rt (tbl : intern) ~(sub : bool) addr amount : unit =
+  if amount < 0 then abort "negative aggregator amount";
+  let d = if sub then Delta.sub amount else Delta.add amount in
+  burn rt 3;
+  match rt.effects.delta (intern_get tbl addr) d with
+  | Txn.Applied -> ()
+  | Txn.Bounds_violation ->
+      abort (if sub then "aggregator underflow" else "aggregator overflow")
+  | Txn.Not_a_counter -> abort "aggregator over non-integer resource"
+
+(* agg_add/agg_sub compile exactly like [Store]: a slot fast path when the
+   address is a visible variable, otherwise the general two-expression
+   batch. *)
+let compile_agg env scope ~(sub : bool) a resource amt : scode =
+  let tbl = intern_of env resource in
+  match slot_of scope a with
+  | Some slot ->
+      let cv = compile_expr env scope amt in
+      let fv = cv.e_run in
+      {
+        s_pre = 2 + cv.e_pre;
+        s_run =
+          (fun rt fr ->
+            let addr = as_addr (Array.unsafe_get fr slot) in
+            let amount = as_int (fv rt fr) in
+            run_agg rt tbl ~sub addr amount);
+        s_closed = true;
+      }
+  | None ->
+      let ca = compile_expr env scope a in
+      let cv = compile_expr env scope amt in
+      let fa = ca.e_run and fv = cv.e_run in
+      let run =
+        if ca.e_closed then
+          let cvp = cv.e_pre in
+          fun rt fr ->
+            let addr = as_addr (fa rt fr) in
+            burn rt cvp;
+            let amount = as_int (fv rt fr) in
+            run_agg rt tbl ~sub addr amount
+        else fun rt fr ->
+          let addr = as_addr (fa rt fr) in
+          let amount = as_int (fv rt fr) in
+          run_agg rt tbl ~sub addr amount
+      in
+      {
+        s_pre = 1 + ca.e_pre + (if ca.e_closed then 0 else cv.e_pre);
+        s_run = run;
+        s_closed = true;
+      }
+
 (* [nslots] is the function-wide slot allocator; [scope] maps visible names
    to slots, threaded per block exactly like the checker threads its scope
    set. A [let] of a visible name reuses its slot (the interpreter's
@@ -897,6 +956,10 @@ let rec compile_stmt env (nslots : int ref) (scope : (string * int) list)
               s_closed = true;
             },
             scope ))
+  | Ast.Agg_add (a, resource, amt) ->
+      (compile_agg env scope ~sub:false a resource amt, scope)
+  | Ast.Agg_sub (a, resource, amt) ->
+      (compile_agg env scope ~sub:true a resource amt, scope)
   | Ast.If (c, t, e) -> (
       let cc = compile_expr env scope c in
       let ct = compile_block env nslots scope t in
@@ -1062,7 +1125,8 @@ let rec stmt_resources acc : Ast.stmt -> string list = function
   | Ast.Let (_, e) | Ast.Assign (_, e) | Ast.Assert (e, _) | Ast.Return e
   | Ast.Expr e ->
       expr_resources acc e
-  | Ast.Store (a, r, v) -> expr_resources (expr_resources (r :: acc) a) v
+  | Ast.Store (a, r, v) | Ast.Agg_add (a, r, v) | Ast.Agg_sub (a, r, v) ->
+      expr_resources (expr_resources (r :: acc) a) v
   | Ast.If (c, t, e) ->
       List.fold_left stmt_resources
         (List.fold_left stmt_resources (expr_resources acc c) t)

@@ -153,6 +153,8 @@ and exec_stmt (ctx : ctx) (frame : frame) (s : Ast.stmt) : unit =
       let value = eval ctx frame v in
       burn ctx 3;
       ctx.effects.write (Loc.make ~addr ~resource) value
+  | Ast.Agg_add (a, resource, amt) -> exec_agg ctx frame ~sub:false a resource amt
+  | Ast.Agg_sub (a, resource, amt) -> exec_agg ctx frame ~sub:true a resource amt
   | Ast.If (c, t, e) ->
       if as_bool (eval ctx frame c) then exec_stmts ctx frame t
       else exec_stmts ctx frame e
@@ -166,6 +168,23 @@ and exec_stmt (ctx : ctx) (frame : frame) (s : Ast.stmt) : unit =
   | Ast.Abort msg -> raise (Abort msg)
   | Ast.Return e -> raise (Return_value (eval ctx frame e))
   | Ast.Expr e -> ignore (eval ctx frame e)
+
+(* Bounded commutative aggregator update (Move's Aggregator.add/sub): the
+   sole MiniMove construct that reaches [Txn.effects.delta]. Bounds are
+   fixed at [0, max_int]; all three failure modes are deterministic Aborts,
+   so outcomes are identical whichever path the engine routes the delta
+   through (plain read-modify-write, or a published delta entry). *)
+and exec_agg (ctx : ctx) (frame : frame) ~(sub : bool) a resource amt : unit =
+  let addr = as_addr (eval ctx frame a) in
+  let amount = as_int (eval ctx frame amt) in
+  if amount < 0 then raise (Abort "negative aggregator amount");
+  let d = if sub then Delta.sub amount else Delta.add amount in
+  burn ctx 3;
+  match ctx.effects.delta (Loc.make ~addr ~resource) d with
+  | Txn.Applied -> ()
+  | Txn.Bounds_violation ->
+      raise (Abort (if sub then "aggregator underflow" else "aggregator overflow"))
+  | Txn.Not_a_counter -> raise (Abort "aggregator over non-integer resource")
 
 and call (ctx : ctx) (f : Ast.func) (args : Value.t list) : Value.t =
   if List.length args <> List.length f.params then

@@ -20,6 +20,8 @@ type token =
   | KW_EXISTS
   | KW_LOAD
   | KW_STORE
+  | KW_AGG_ADD
+  | KW_AGG_SUB
   | KW_THEN  (* used by the conditional expression form *)
   | LPAREN
   | RPAREN
@@ -64,6 +66,8 @@ let token_name = function
   | KW_EXISTS -> "exists"
   | KW_LOAD -> "load"
   | KW_STORE -> "store"
+  | KW_AGG_ADD -> "agg_add"
+  | KW_AGG_SUB -> "agg_sub"
   | KW_THEN -> "then"
   | LPAREN -> "("
   | RPAREN -> ")"
@@ -107,6 +111,8 @@ let keywords =
     ("exists", KW_EXISTS);
     ("load", KW_LOAD);
     ("store", KW_STORE);
+    ("agg_add", KW_AGG_ADD);
+    ("agg_sub", KW_AGG_SUB);
     ("then", KW_THEN);
   ]
 

@@ -18,6 +18,8 @@ type token =
   | KW_EXISTS
   | KW_LOAD
   | KW_STORE
+  | KW_AGG_ADD
+  | KW_AGG_SUB
   | KW_THEN
   | LPAREN
   | RPAREN

@@ -50,6 +50,12 @@ module Value = struct
     | Str _ -> "string"
     | Addr _ -> "address"
     | Struct (n, _) -> n
+
+  (* Counter view for commutative delta ops ([agg_add] / [agg_sub]): bare
+     [Int] values only — structs, even single-int-field ones, are not
+     counters. *)
+  let as_counter = function Int i -> Some i | _ -> None
+  let of_counter i = Int i
 end
 
 module Loc = struct

@@ -8,6 +8,7 @@
     stmt    := "let" IDENT "=" expr ";"
              | IDENT "=" expr ";"
              | "store" "(" expr "," IDENT "," expr ")" ";"
+             | ("agg_add"|"agg_sub") "(" expr "," IDENT "," expr ")" ";"
              | "if" "(" expr ")" block ["else" block]
              | "while" "(" expr ")" block
              | "assert" "(" expr "," STRING ")" ";"
@@ -267,6 +268,17 @@ and parse_stmt st : Ast.stmt =
       expect st RPAREN "expected ')'";
       expect st SEMI "expected ';'";
       Ast.Store (a, r, v)
+  | (KW_AGG_ADD | KW_AGG_SUB) as kw ->
+      advance st;
+      expect st LPAREN "expected '(' after aggregator op";
+      let a = parse_expr st in
+      expect st COMMA "expected ','";
+      let r = expect_ident st "expected resource name" in
+      expect st COMMA "expected ','";
+      let v = parse_expr st in
+      expect st RPAREN "expected ')'";
+      expect st SEMI "expected ';'";
+      if kw = KW_AGG_ADD then Ast.Agg_add (a, r, v) else Ast.Agg_sub (a, r, v)
   | KW_IF ->
       advance st;
       expect st LPAREN "expected '(' after if";

@@ -33,9 +33,16 @@ type script =
   | S_interp of Interp.compiled
   | S_compiled of Compile.compiled
 
-(** Parse, check and load [src] for the chosen VM (default [Compiled]).
-    [intern_addrs] sizes the compiled VM's interned location-key tables;
-    workloads pass their account count so every hot key is preallocated. *)
+(** Parse, check and load [src] for the chosen VM. [vm] (default
+    [Compiled]) selects the execution engine: [Tree_walk] runs the checked
+    AST directly through {!Interp} (simpler, slower — the reference
+    semantics), [Compiled] lowers it once through {!Compile} into closure
+    code shared read-only by every incarnation and domain. Both produce
+    identical outputs, read/write/delta logs and gas at every effect point;
+    the vm-cost experiment and the differential test suite exercise the
+    pair against each other. [intern_addrs] sizes the compiled VM's
+    interned location-key tables (ignored by [Tree_walk]); workloads pass
+    their account count so every hot key is preallocated. *)
 let load ?(vm = Compiled) ?intern_addrs (src : string) : script =
   match vm with
   | Tree_walk -> S_interp (Interp.compile src)
@@ -110,6 +117,23 @@ let amm_genesis ?(initial_balance = 1_000_000_000) ?(reserve1 = 10_000_000)
        ( "Pool",
          [ ("reserve1", Value.Int reserve1); ("reserve2", Value.Int reserve2) ]
        ));
+  store
+
+(** Genesis for the {!Stdlib_contracts.vault_source} contract: bare-integer
+    [Vault] balances (the aggregator's operand type) for [num_accounts]
+    payers (addresses 1..n) plus an empty treasury vault, and the usual
+    [Account] records carrying sequence numbers. *)
+let vault_genesis ?(initial_balance = 1_000_000_000) ~num_accounts ~treasury
+    () : Store.t =
+  let store = Store.create ~initial_size:((num_accounts * 2) + 16) () in
+  for a = 1 to num_accounts do
+    Store.set store (loc ~addr:a ~resource:"Vault") (Value.Int initial_balance);
+    Store.set store
+      (loc ~addr:a ~resource:"Account")
+      (Value.Struct
+         ("Account", [ ("seq", Value.Int 0); ("frozen", Value.Bool false) ]))
+  done;
+  Store.set store (loc ~addr:treasury ~resource:"Vault") (Value.Int 0);
   store
 
 (** Genesis for the NFT registry contract. *)

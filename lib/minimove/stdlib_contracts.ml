@@ -150,6 +150,27 @@ fun main(pool, trader, amount_in, coin_in) {
 }
 |}
 
+(** Aggregator-based vault transfer: [main(treasury, payer, amount,
+    exp_seq)] bumps the payer's sequence number, then moves [amount] between
+    bare-integer [Vault] resources with the bounded commutative aggregator
+    ops — [agg_sub] on the payer (aborting on insufficient funds) and
+    [agg_add] on the shared treasury. Under an engine with [delta_ops] on,
+    the treasury credit commutes: the classic fee-sink hotspot stops
+    serializing the block. With [delta_ops] off the same script runs as
+    plain read-modify-writes, byte-identical to the paper's behavior.
+    Returns the amount moved. Genesis: {!Runtime.vault_genesis}. *)
+let vault_source =
+  {|
+fun main(treasury, payer, amount, exp_seq) {
+  let acct = load(payer, Account);
+  assert(acct.seq == exp_seq, "sequence number mismatch");
+  store(payer, Account, Account { seq: acct.seq + 1, frozen: acct.frozen });
+  agg_sub(payer, Vault, amount);
+  agg_add(treasury, Vault, amount);
+  return amount;
+}
+|}
+
 (** NFT mint: [main(registry, minter)] takes the next id from a global
     registry and records the token under an address derived from the id.
     The registry counter is the contention point; token records never

@@ -34,14 +34,24 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   module Tbl = Hashtbl.Make (L)
   module IMap = Map.Make (Int)
 
+  (* Payload displaced by an ESTIMATE marker, kept so a targeted-mode
+     re-publication of an identical write (or identical delta) can restore
+     the original descriptor (value-equality pruning); [P_none] outside
+     targeted mode and for pre-execution estimates. *)
+  type prior_payload =
+    | P_none
+    | P_written of int * V.t  (** Displaced [Written] (incarnation, value). *)
+    | P_delta of int * Delta.t  (** Displaced [Delta] (incarnation, delta). *)
+
   type entry =
     | Written of { incarnation : int; value : V.t }
-    | Estimate of { prior : (int * V.t) option }
-        (** Placeholder left by an aborted incarnation's write. [prior] keeps
-            the displaced [Written] payload (incarnation, value) so that a
-            targeted-mode re-publication of the same value can restore the
-            original descriptor (value-equality pruning); [None] outside
-            targeted mode and for pre-execution estimates. *)
+    | Delta of { incarnation : int; delta : Delta.t }
+        (** Commutative delta entry (DESIGN.md §12): a bounded increment the
+            writing incarnation applied without observing the value. Folded
+            onto the highest plain write below it at read-materialization
+            time and into the committed base by {!flush_committed}. *)
+    | Estimate of { prior : prior_payload }
+        (** Placeholder left by an aborted incarnation's write. *)
 
   (* A location's state: an immutable snapshot swapped atomically. [versions]
      is the version chain; [base] is the committed-base entry — the highest
@@ -89,6 +99,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   type read_result =
     | Ok of Version.t * V.t
         (** Value written by the highest lower transaction, with its version. *)
+    | Merged of { value : int }
+        (** The chain below the reader is topped by delta entries: the
+            materialized integer (anchor plus folded nets). Version-free —
+            the caller records a [Counter] descriptor. *)
     | Not_found  (** No lower transaction wrote here: read from storage. *)
     | Read_error of { blocking_txn_idx : int }
         (** Hit an [ESTIMATE]: dependency on [blocking_txn_idx]. *)
@@ -97,6 +111,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   type read_set = (L.t * Read_origin.t) array
 
   type write_set = (L.t * V.t) array
+
+  (** Composed commutative delta per location (at most one per incarnation;
+      the engine composes repeated ops before recording). *)
+  type delta_set = (L.t * Delta.t) array
 
   (** Answer to "whose recorded reads does this mutation invalidate?". *)
   type invalidation =
@@ -124,6 +142,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     block_size : int;
     targeted : bool;
     reader_cap : int;  (** Hard per-registry slot cap before overflow. *)
+    base_storage : L.t -> V.t option;
+        (** Pre-block storage, consulted only when materializing a
+            delta-carrying location whose chain has no plain write below the
+            reader (constant during the block, so baking it into
+            materialization is sound). [fun _ -> None] when the instance is
+            created without [?storage] — fine as long as no delta entries
+            are ever published. *)
     (* Rolling-commit flush state: [flushed_upto] is the length of the
        committed prefix already folded into the per-cell [base] entries.
        Guarded by [flush_mutex]; read via {!flushed_upto} without it. *)
@@ -138,7 +163,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let fresh_table capacity = Array.init capacity (fun _ -> Atomic.make None)
 
   let create ?(nshards = 64) ?(writes_per_txn = 4) ?(targeted = false)
-      ?(reader_slots = 64) ~block_size () =
+      ?(reader_slots = 64) ?(storage = fun _ -> None) ~block_size () =
     if block_size < 0 then invalid_arg "Mvmemory.create: negative block_size";
     if nshards <= 0 then invalid_arg "Mvmemory.create: nshards must be > 0";
     if writes_per_txn < 0 then
@@ -165,6 +190,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       block_size;
       targeted;
       reader_cap = reader_slots;
+      base_storage = storage;
       flush_mutex = Mutex.create ();
       flushed_upto = 0;
     }
@@ -333,6 +359,81 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let map_versions f s = { s with versions = f s.versions }
 
+  (* Slow path of [read] for a delta-topped chain (DESIGN.md §12): fold the
+     delta nets downward until an anchor — the highest plain write below the
+     reader (chain entry, committed base, or pre-block storage; absent
+     counts as 0). Integer anchors yield a [Merged] materialized value;
+     hitting an ESTIMATE mid-chain is a dependency on it. A non-integer
+     anchor under deltas is a transient speculative state (the delta writer
+     observed an integer base; its range validation will fail and remove the
+     entry): serve the anchor itself so the reader's descriptor converges
+     once the bogus delta disappears. Lock-free: pure map lookups over the
+     already-loaded snapshot. *)
+  let read_delta_chain t (loc : L.t) { versions; base } ~(txn_idx : int) :
+      read_result =
+    let rec walk idx net =
+      match IMap.find_last_opt (fun i -> i < idx) versions with
+      | Some (i, Estimate _) -> Read_error { blocking_txn_idx = i }
+      | Some (i, Delta { delta; _ }) -> walk i (net + delta.Delta.net)
+      | Some (i, Written { incarnation; value }) ->
+          anchor (Version.make ~txn_idx:i ~incarnation) value net
+      | None -> (
+          match base with
+          | Some (ver, value) when Version.txn_idx ver < idx ->
+              anchor ver value net
+          | _ -> (
+              match t.base_storage loc with
+              | Some value -> (
+                  match V.as_counter value with
+                  | Some b -> Merged { value = b + net }
+                  | None -> Not_found (* deltas over non-counter storage *))
+              | None -> Merged { value = net } (* absent anchor counts as 0 *)))
+    and anchor ver value net =
+      match V.as_counter value with
+      | Some b -> Merged { value = b + net }
+      | None -> Ok (ver, value)
+    in
+    walk txn_idx 0
+
+  (* Materialized integer base of [loc] as seen by [txn_idx] (DESIGN.md
+     §12): the value of the highest plain write below it plus the nets of
+     the delta entries above that write. Used to validate the delta
+     descriptors ([Range] / [Counter] / [Not_counter]), whose validity is a
+     predicate on this integer rather than on a version. *)
+  type materialized =
+    | M_int of int  (** Integer base (an absent location counts as 0). *)
+    | M_other  (** The anchor holds a non-integer value. *)
+    | M_blocked  (** An ESTIMATE interrupts the chain. *)
+
+  let materialize t (loc : L.t) ~(txn_idx : int) : materialized =
+    let from_storage net =
+      match t.base_storage loc with
+      | None -> M_int net
+      | Some v -> (
+          match V.as_counter v with Some b -> M_int (b + net) | None -> M_other)
+    in
+    match find_slot t loc with
+    | None -> from_storage 0
+    | Some s ->
+        let { versions; base } = Atomic.get s.cell in
+        let anchor value net =
+          match V.as_counter value with
+          | Some b -> M_int (b + net)
+          | None -> M_other
+        in
+        let rec walk idx net =
+          match IMap.find_last_opt (fun i -> i < idx) versions with
+          | Some (_, Estimate _) -> M_blocked
+          | Some (i, Delta { delta; _ }) -> walk i (net + delta.Delta.net)
+          | Some (_, Written { value; _ }) -> anchor value net
+          | None -> (
+              match base with
+              | Some (ver, value) when Version.txn_idx ver < idx ->
+                  anchor value net
+              | _ -> from_storage net)
+        in
+        walk txn_idx 0
+
   (* Algorithm 3, [read]: entry by the highest transaction index < txn_idx.
      Lock-free: one atomic snapshot load, then pure map lookups. The
      committed base is only consulted when the chain has no entry below the
@@ -340,7 +441,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      entry (the flush removes the whole committed prefix per location), so
      chain-first preserves the highest-lower-writer rule. The base keeps the
      exact version of the flushed write, so read descriptors — and therefore
-     validation — are unchanged by a flush.
+     validation — are unchanged by a flush. A chain topped by a delta entry
+     takes the [read_delta_chain] slow path, which folds nets down to the
+     anchoring plain write and answers [Merged].
      Targeted mode: the reader registers itself BEFORE loading the snapshot
      (and a storage-miss read still materializes the slot so a later first
      write finds its readers). A writer publishes its mutation and only then
@@ -358,11 +461,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         (match s.readers with
         | Some reg when txn_idx < t.block_size -> reg_register t reg txn_idx
         | _ -> ());
-        let { versions; base } = Atomic.get s.cell in
+        let ({ versions; base } as snap) = Atomic.get s.cell in
         match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with
         | Some (idx, Estimate _) -> Read_error { blocking_txn_idx = idx }
         | Some (idx, Written { incarnation; value }) ->
             Ok (Version.make ~txn_idx:idx ~incarnation, value)
+        | Some (_, Delta _) -> read_delta_chain t loc snap ~txn_idx
         | None -> (
             match base with
             | Some (version, value) when Version.txn_idx version < txn_idx ->
@@ -378,6 +482,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           (map_versions (IMap.add txn_idx (Written { incarnation; value }))))
       write_set
 
+  (* Delta analogue of [apply_write_set] (DESIGN.md §12). *)
+  let apply_delta_set t ~txn_idx ~incarnation (delta_set : delta_set) : unit =
+    Array.iter
+      (fun (loc, delta) ->
+        cell_update
+          (find_or_create_cell t loc)
+          (map_versions (IMap.add txn_idx (Delta { incarnation; delta }))))
+      delta_set
+
   (* Targeted publish of one write; returns [true] if the write was pruned:
      the location already carries (or an ESTIMATE displaced) a byte-identical
      value from a previous incarnation, and re-publishing under the original
@@ -389,7 +502,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       match IMap.find_opt txn_idx old.versions with
       | Some (Written { incarnation = _; value = v0 }) when V.equal v0 value ->
           true (* identical value already published: keep the descriptor *)
-      | Some (Estimate { prior = Some (i0, v0) }) when V.equal v0 value ->
+      | Some (Estimate { prior = P_written (i0, v0) }) when V.equal v0 value ->
           let next =
             map_versions
               (IMap.add txn_idx (Written { incarnation = i0; value = v0 }))
@@ -400,6 +513,36 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           let next =
             map_versions
               (IMap.add txn_idx (Written { incarnation; value }))
+              old
+          in
+          if Atomic.compare_and_set cell old next then false else go ()
+    in
+    go ()
+
+  (* Targeted publish of one delta entry; pruned (returns [true]) when the
+     location already carries — or an ESTIMATE displaced — an identical
+     delta from a previous incarnation. Re-incarnations of a deterministic
+     transaction republish the same delta whenever their observed inputs
+     are unchanged, so hot-location delta republication is the common case. *)
+  let publish_delta_pruning (cell : cell) ~txn_idx ~incarnation ~delta : bool =
+    let rec go () =
+      let old = Atomic.get cell in
+      match IMap.find_opt txn_idx old.versions with
+      | Some (Delta { incarnation = _; delta = d0 }) when Delta.equal d0 delta
+        ->
+          true
+      | Some (Estimate { prior = P_delta (i0, d0) }) when Delta.equal d0 delta
+        ->
+          let next =
+            map_versions
+              (IMap.add txn_idx (Delta { incarnation = i0; delta = d0 }))
+              old
+          in
+          if Atomic.compare_and_set cell old next then true else go ()
+      | _ ->
+          let next =
+            map_versions
+              (IMap.add txn_idx (Delta { incarnation; delta }))
               old
           in
           if Atomic.compare_and_set cell old next then false else go ()
@@ -434,13 +577,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     Atomic.set t.last_written.(txn_idx) new_locations;
     (Array.exists (fun l -> not (Tbl.mem in_prev l)) new_locations, !removed)
 
-  (* Algorithm 2, [record]: returns [wrote_new_location]. *)
-  let record t (version : Version.t) (read_set : read_set)
-      (write_set : write_set) : bool =
+  (* Algorithm 2, [record]: returns [wrote_new_location]. [deltas] publishes
+     commutative delta entries alongside the plain writes; their locations
+     join the recorded written set, so abort conversion, stale-entry removal
+     and the commit flush cover them uniformly. *)
+  let record ?(deltas = ([||] : delta_set)) t (version : Version.t)
+      (read_set : read_set) (write_set : write_set) : bool =
     let txn_idx = Version.txn_idx version in
     let incarnation = Version.incarnation version in
     apply_write_set t ~txn_idx ~incarnation write_set;
-    let new_locations = Array.map fst write_set in
+    apply_delta_set t ~txn_idx ~incarnation deltas;
+    let new_locations =
+      Array.append (Array.map fst write_set) (Array.map fst deltas)
+    in
     let wrote_new, _removed =
       rcu_update_written_locations t ~txn_idx new_locations
     in
@@ -475,8 +624,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       value-equality pruning of each write and (b) collection of the precise
       invalidated-reader set. Mutations are published first and registries
       collected after, closing the register-then-load race (see {!read}). *)
-  let record_targeted t (version : Version.t) (read_set : read_set)
-      (write_set : write_set) : record_outcome =
+  let record_targeted ?(deltas = ([||] : delta_set)) t (version : Version.t)
+      (read_set : read_set) (write_set : write_set) : record_outcome =
     if not t.targeted then
       invalid_arg "Mvmemory.record_targeted: not a targeted instance";
     let txn_idx = Version.txn_idx version in
@@ -493,7 +642,21 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           (slot, pruned))
         write_set
     in
-    let new_locations = Array.map fst write_set in
+    let delta_written =
+      Array.map
+        (fun (loc, delta) ->
+          let slot = find_or_create_slot t loc in
+          let pruned =
+            publish_delta_pruning slot.cell ~txn_idx ~incarnation ~delta
+          in
+          if pruned then incr prune_hits;
+          (slot, pruned))
+        deltas
+    in
+    let written = Array.append written delta_written in
+    let new_locations =
+      Array.append (Array.map fst write_set) (Array.map fst deltas)
+    in
     let wrote_new, removed =
       rcu_update_written_locations t ~txn_idx new_locations
     in
@@ -540,9 +703,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 let prior =
                   match IMap.find_opt txn_idx s.versions with
                   | Some (Written { incarnation; value }) ->
-                      Some (incarnation, value)
+                      P_written (incarnation, value)
+                  | Some (Delta { incarnation; delta }) ->
+                      P_delta (incarnation, delta)
                   | Some (Estimate { prior }) -> prior
-                  | None -> None
+                  | None -> P_none
                 in
                 map_versions (IMap.add txn_idx (Estimate { prior })) s))
       prev_locations
@@ -564,22 +729,46 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       (fun loc ->
         cell_update
           (find_or_create_cell t loc)
-          (map_versions (IMap.add txn_idx (Estimate { prior = None }))))
+          (map_versions (IMap.add txn_idx (Estimate { prior = P_none }))))
       locs;
     Atomic.set t.last_written.(txn_idx) locs
+
+  (* One read descriptor's validity against the current state (Algorithm 3
+     per-entry check). Version descriptors compare re-read descriptors; the
+     delta descriptors (DESIGN.md §12) are predicates on the materialized
+     integer base — [Range] passes while the base stays inside the bounds
+     the delta was applied under, which is what lets concurrent deltas on
+     one location revalidate without aborting each other. *)
+  let validate_origin t (loc : L.t) ~(txn_idx : int)
+      (origin : Read_origin.t) : bool =
+    match origin with
+    | Range { rlo; rhi } -> (
+        match materialize t loc ~txn_idx with
+        | M_int b -> b >= rlo && b <= rhi
+        | M_other | M_blocked -> false)
+    | Counter c -> (
+        match materialize t loc ~txn_idx with
+        | M_int b -> b = c
+        | M_other | M_blocked -> false)
+    | Not_counter -> (
+        match materialize t loc ~txn_idx with
+        | M_other -> true
+        | M_int _ | M_blocked -> false)
+    | Storage | Mv _ -> (
+        match (read t loc ~txn_idx, origin) with
+        | Read_error _, _ -> false (* previously read something, now ESTIMATE *)
+        | Not_found, Storage -> true
+        | Not_found, _ -> false (* entry disappeared *)
+        | Ok (v, _), Mv v' -> Version.equal v v'
+        | Ok _, _ -> false (* a lower transaction now wrote here *)
+        | Merged _, _ -> false (* plain read, now delta-topped *))
 
   (* Algorithm 3, [validate_read_set]: re-read every location in the last
      recorded read-set and compare descriptors. *)
   let validate_read_set t (txn_idx : int) : bool =
     let prior_reads = Atomic.get t.last_reads.(txn_idx) in
     Array.for_all
-      (fun (loc, origin) ->
-        match (read t loc ~txn_idx, (origin : Read_origin.t)) with
-        | Read_error _, _ -> false (* previously read something, now ESTIMATE *)
-        | Not_found, Storage -> true
-        | Not_found, Mv _ -> false (* entry disappeared *)
-        | Ok (v, _), Mv v' -> Version.equal v v'
-        | Ok _, Storage -> false (* a lower transaction now wrote here *))
+      (fun (loc, origin) -> validate_origin t loc ~txn_idx origin)
       prior_reads
 
   (** Last recorded read-set of [txn_idx] (RCU load). Used by the paper's
@@ -637,6 +826,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       (fun loc ->
         match read t loc ~txn_idx:t.block_size with
         | Ok (_, value) -> Some (loc, value)
+        | Merged { value } -> Some (loc, V.of_counter value)
         | Not_found -> None
         | Read_error _ ->
             (* Impossible after commit: all estimates are resolved. *)
@@ -659,6 +849,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         for i = lo to hi do
           match read t locs.(i) ~txn_idx:t.block_size with
           | Ok (_, value) -> results.(i) <- Some (locs.(i), value)
+          | Merged { value } ->
+              results.(i) <- Some (locs.(i), V.of_counter value)
           | Not_found -> ()
           | Read_error _ -> assert false
         done
@@ -704,6 +896,35 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                         versions = IMap.remove j s.versions;
                         base =
                           Some (Version.make ~txn_idx:j ~incarnation, value);
+                      }
+                  | Some (Delta { incarnation; delta }) ->
+                      (* Commit fold (DESIGN.md §12): ascending [j] has
+                         already folded every lower committed write into the
+                         base, so the delta's anchor is the current base (or
+                         pre-block storage; absent counts as 0). A committed
+                         delta passed range validation, so the anchor is an
+                         integer and the sum is within bounds. *)
+                      let b =
+                        match s.base with
+                        | Some (_, v) -> V.as_counter v
+                        | None -> (
+                            match t.base_storage loc with
+                            | Some v -> V.as_counter v
+                            | None -> Some 0)
+                      in
+                      let b =
+                        match b with
+                        | Some b -> b
+                        | None ->
+                            assert false
+                            (* committed delta implies integer anchor *)
+                      in
+                      {
+                        versions = IMap.remove j s.versions;
+                        base =
+                          Some
+                            ( Version.make ~txn_idx:j ~incarnation,
+                              V.of_counter (b + delta.Delta.net) );
                       }
                   | Some (Estimate _) ->
                       (* A committed transaction has no unresolved

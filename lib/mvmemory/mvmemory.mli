@@ -26,6 +26,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   type read_result =
     | Ok of Version.t * V.t
         (** Value written by the highest lower transaction, with its version. *)
+    | Merged of { value : int }
+        (** The chain below the reader is topped by commutative delta
+            entries (DESIGN.md §12): the materialized integer — the highest
+            plain write below the deltas (or committed base, or pre-block
+            storage, or 0 if absent) plus the folded delta nets. The result
+            is version-free; callers record a [Counter] descriptor, which
+            validates by re-materializing. *)
     | Not_found  (** No lower transaction wrote here: read from storage. *)
     | Read_error of { blocking_txn_idx : int }
         (** Hit an [ESTIMATE]: dependency on [blocking_txn_idx]. *)
@@ -34,6 +41,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   (** One read descriptor per (dynamic) read performed by an incarnation. *)
 
   type write_set = (L.t * V.t) array
+
+  type delta_set = (L.t * Delta.t) array
+  (** Composed commutative delta per location — at most one entry per
+      location per incarnation (the engine composes repeated delta ops on a
+      location before recording). *)
 
   type invalidation =
     | Suffix
@@ -60,6 +72,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     ?writes_per_txn:int ->
     ?targeted:bool ->
     ?reader_slots:int ->
+    ?storage:(L.t -> V.t option) ->
     block_size:int ->
     unit ->
     t
@@ -76,6 +89,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       {!record_targeted} / {!invalidated_readers} report precise invalidated
       reader sets. A registry that exceeds [reader_slots] distinct readers
       overflows and permanently answers {!Suffix} for its location.
+
+      [storage] (default [fun _ -> None]) is the pre-block state, consulted
+      only when materializing a delta-carrying location whose chain has no
+      plain write below the reader. It must be supplied (and constant for
+      the block) by any caller that records delta sets; instances that never
+      publish delta entries can omit it.
       @raise Invalid_argument on negative [block_size] or [writes_per_txn],
       non-positive [nshards], or [reader_slots < 1]. *)
 
@@ -89,24 +108,33 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   val read : t -> L.t -> txn_idx:int -> read_result
   (** Algorithm 3, [read]: the entry written by the highest transaction
-      index below [txn_idx]. In targeted mode, additionally registers
-      [txn_idx] in the location's reader registry (snapshot reads at
-      [txn_idx = block_size] are not registered). *)
+      index below [txn_idx]. A chain topped by delta entries folds their
+      nets onto the anchoring plain write and answers {!Merged}; an
+      [ESTIMATE] anywhere in the folded span is a {!Read_error} dependency.
+      In targeted mode, additionally registers [txn_idx] in the location's
+      reader registry (snapshot reads at [txn_idx = block_size] are not
+      registered). *)
 
   val apply_write_set :
     t -> txn_idx:int -> incarnation:int -> write_set -> unit
   (** Algorithm 2, [apply_write_set]: publish an incarnation's writes. Most
       callers want {!record}, which also maintains the bookkeeping. *)
 
-  val record : t -> Version.t -> read_set -> write_set -> bool
+  val record : ?deltas:delta_set -> t -> Version.t -> read_set -> write_set -> bool
   (** Algorithm 2, [record]: publish the incarnation's writes, drop entries
       the previous incarnation wrote but this one did not, and store the
-      read-set for later validation.
+      read-set for later validation. [deltas] (default empty) publishes
+      commutative delta entries alongside the plain writes; delta locations
+      join the recorded written set, so every written-location transition
+      below — as well as abort conversion ({!convert_writes_to_estimates}
+      preserves the displaced delta payload), stale-entry removal and the
+      commit flush — treats a delta exactly like a write.
 
-      Returns [wrote_new_location]: [true] iff this incarnation wrote at
-      least one location that the {e previous} incarnation of the same
-      transaction did not write — i.e. a location absent from the last
-      recorded written-locations array. Exhaustively, per location:
+      Returns [wrote_new_location]: [true] iff this incarnation wrote (or
+      applied a delta to) at least one location that the {e previous}
+      incarnation of the same transaction did not — i.e. a location absent
+      from the last recorded written-locations array. Exhaustively, per
+      location:
       {ul
       {- {b first write ever} by this transaction → [true] (no previous
          incarnation, so every location is new);}
@@ -125,23 +153,32 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
          [true] — the removal erased it from the recorded written set, so
          readers between the two records may have observed the gap;}
       {- {b removal only} (previous incarnation wrote it, this one does not)
-         → does not set the flag by itself.}}
+         → does not set the flag by itself;}
+      {- {b write↔delta flips} on one location across incarnations → [false]
+         (the location stays in the written set; affected readers are caught
+         by validation, not by the flag).}}
       The scheduler uses the flag as the trigger for suffix revalidation
       (Algorithm 9); targeted mode replaces the flag with the precise
       {!record_outcome.invalidated} set. *)
 
-  val record_targeted : t -> Version.t -> read_set -> write_set -> record_outcome
+  val record_targeted :
+    ?deltas:delta_set -> t -> Version.t -> read_set -> write_set -> record_outcome
   (** Targeted-mode {!record}: performs the same mutations, additionally
       {ul
       {- {b prunes value-equal republications}: a write of a byte-identical
          value ([V.equal]) to a location whose displaced entry (or ESTIMATE
-         [prior]) carried the same value is re-published under the {e
-         original} (incarnation, value) descriptor, so downstream read
-         descriptors remain valid and the location invalidates nobody;}
+         [prior]) carried the same value — likewise a republication of an
+         identical composed delta ([Delta.equal]) — is re-published under
+         the {e original} (incarnation, payload) descriptor, so downstream
+         read descriptors remain valid and the location invalidates nobody;}
       {- {b collects the invalidated readers}: every registered reader above
-         the writer on a non-pruned written location or on a
+         the writer on a non-pruned written (or delta'd) location or on a
          removed-this-record location. Any overflowed registry degrades the
-         answer to {!Suffix}.}}
+         answer to {!Suffix}. Reader registries do not distinguish
+         value-observing from delta-applying readers, so a delta publication
+         still revalidates the delta-applying readers above it — but their
+         [Range] descriptors pass, so the revalidation is cheap and
+         abort-free (DESIGN.md §12).}}
       @raise Invalid_argument on a non-targeted instance. *)
 
   val invalidated_readers : t -> txn_idx:int -> invalidation
@@ -168,7 +205,28 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   val validate_read_set : t -> int -> bool
   (** Algorithm 3, [validate_read_set]: re-read every location in the last
-      recorded read-set and compare descriptors. *)
+      recorded read-set and compare descriptors ({!validate_origin} per
+      entry). *)
+
+  val validate_origin : t -> L.t -> txn_idx:int -> Read_origin.t -> bool
+  (** Validate one recorded read descriptor against the current state of the
+      structure, as seen by [txn_idx] (DESIGN.md §12):
+      {ul
+      {- [Storage] / [Mv v]: re-{!read} and require the same outcome — in
+         particular a chain that now materializes ({!Merged}) where a plain
+         value was observed fails;}
+      {- [Range (rlo, rhi)] (recorded by a delta-applying access):
+         re-materialize the integer at the location and require
+         [rlo <= b <= rhi] — the {e range} check that makes concurrent delta
+         publications mutually non-invalidating;}
+      {- [Counter c] (an exact materialized integer was observed):
+         re-materialize and require equality with [c];}
+      {- [Not_counter] (a delta op observed a non-integer anchor): require
+         the location still to materialize to a non-integer.}}
+      The materializing branches never register a reader; the
+      [Storage]/[Mv] branches go through {!read}, whose targeted-mode
+      registration is an idempotent no-op here (the descriptor being
+      validated implies the reader is already registered). *)
 
   val last_read_set : t -> int -> read_set
   (** Last recorded read-set of a transaction (RCU load). Used by the §4
@@ -196,8 +254,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       entry and prune those entries from the version chains, shrinking
       {!entry_count} as the prefix advances (the read fast-path falls back
       to the base when the chain has no entry below the reader, preserving
-      exact version descriptors). Only call with [upto] at most the
-      scheduler's committed prefix. Thread-safe and idempotent.
+      exact version descriptors). Committed delta entries are folded in
+      ascending transaction order: each adds its net to the current integer
+      base (or to the storage value / 0 if the location has no base yet) and
+      the materialized sum becomes the new base — a committed delta's final
+      [Range] validation guarantees the fold stays in bounds. Only call with
+      [upto] at most the scheduler's committed prefix. Thread-safe and
+      idempotent.
       @raise Invalid_argument if [upto] is negative or exceeds the block
       size. *)
 

@@ -92,6 +92,10 @@ module Value = struct
   let as_bool = function
     | Bool b -> b
     | v -> Fmt.failwith "Ledger.Value.as_bool: %a" pp v
+
+  (* Counter view for commutative delta ops: [Int] values only. *)
+  let as_counter = function Int i -> Some i | Bool _ | Bytes _ -> None
+  let of_counter i = Int i
 end
 
 module Store = Blockstm_storage.Memstore.Make (Loc) (Value)

@@ -134,6 +134,99 @@ let simplified_txn ~work { sender; recipient; amount; exp_seqno } :
 let txn_writes { sender; recipient; _ } =
   [| balance sender; seqno sender; balance recipient; seqno recipient |]
 
+(* --- Hotspot flavor: commutative payments into few hot accounts --------- *)
+
+(* The hotspot script models fee sinks / bridge vaults / popular AMM pools:
+   every transfer lands in one of a handful of hot accounts. Balance updates
+   go through [Txn.effects.delta] (bounded add/sub), so the same workload
+   runs in both engine modes: with [delta_ops] off the deltas fall back to
+   read-modify-write and the hot balances serialize the block (the
+   contention cliff); with [delta_ops] on they commute. *)
+
+type hotspot_spec = {
+  h_num_accounts : int;  (** Total accounts; cold senders are drawn here. *)
+  h_hot_accounts : int;  (** Accounts [0, h_hot_accounts) receive everything. *)
+  h_block_size : int;
+  h_seed : int;
+  h_amount_max : int;
+  h_work : int;  (** Spin iterations, as in {!spec.work}. *)
+}
+
+let default_hotspot_spec =
+  {
+    h_num_accounts = 1000;
+    h_hot_accounts = 2;
+    h_block_size = 1000;
+    h_seed = 42;
+    h_amount_max = 100;
+    h_work = 0;
+  }
+
+type hotspot = {
+  h_spec : hotspot_spec;
+  h_storage : Store.t;
+  h_txns : (Loc.t, Value.t, int) Txn.t array;
+  h_declared_writes : Loc.t array array;
+  h_transfers : transfer array;
+}
+
+(* 6 global-config reads, sender seqno check + bump, then two bounded
+   balance deltas: sub on the cold sender (floor 0 = the insufficient-funds
+   check), add on the hot recipient. Output is the transferred amount —
+   identical whichever path the engine routes the deltas through. *)
+let hotspot_txn ~work { sender; recipient; amount; exp_seqno } :
+    (Loc.t, Value.t, int) Txn.t =
+ fun e ->
+  let cfg = ref 0 in
+  for g = 0 to 5 do
+    cfg := !cfg + read_int e (global g)
+  done;
+  check (!cfg > 0) "bad on-chain config";
+  let s_seq = read_int e (seqno sender) in
+  check (s_seq = exp_seqno) "sequence number mismatch";
+  spin work;
+  e.write (seqno sender) (Value.Int (s_seq + 1));
+  (match e.delta (balance sender) (Delta.sub amount) with
+  | Txn.Applied -> ()
+  | Txn.Bounds_violation -> raise (Invariant_violation "insufficient balance")
+  | Txn.Not_a_counter -> raise (Invariant_violation "sender balance corrupt"));
+  (match e.delta (balance recipient) (Delta.add amount) with
+  | Txn.Applied -> ()
+  | Txn.Bounds_violation -> raise (Invariant_violation "recipient overflow")
+  | Txn.Not_a_counter ->
+      raise (Invariant_violation "recipient balance corrupt"));
+  amount
+
+let hotspot_txn_writes { sender; recipient; _ } =
+  [| balance sender; seqno sender; balance recipient |]
+
+let generate_hotspot (spec : hotspot_spec) : hotspot =
+  if spec.h_hot_accounts < 1 then
+    invalid_arg "P2p.generate_hotspot: need at least 1 hot account";
+  if spec.h_num_accounts <= spec.h_hot_accounts then
+    invalid_arg "P2p.generate_hotspot: need cold accounts to send from";
+  if spec.h_amount_max < 1 then
+    invalid_arg "P2p.generate_hotspot: amount_max >= 1";
+  let rng = Rng.create spec.h_seed in
+  let ncold = spec.h_num_accounts - spec.h_hot_accounts in
+  let next_seqno = Array.make spec.h_num_accounts 0 in
+  let transfers =
+    Array.init spec.h_block_size (fun _ ->
+        let sender = spec.h_hot_accounts + Rng.int rng ncold in
+        let recipient = Rng.int rng spec.h_hot_accounts in
+        let amount = 1 + Rng.int rng spec.h_amount_max in
+        let exp_seqno = next_seqno.(sender) in
+        next_seqno.(sender) <- exp_seqno + 1;
+        { sender; recipient; amount; exp_seqno })
+  in
+  {
+    h_spec = spec;
+    h_storage = genesis ~num_accounts:spec.h_num_accounts ();
+    h_txns = Array.map (hotspot_txn ~work:spec.h_work) transfers;
+    h_declared_writes = Array.map hotspot_txn_writes transfers;
+    h_transfers = transfers;
+  }
+
 let generate (spec : spec) : t =
   if spec.num_accounts < 2 then
     invalid_arg "P2p.generate: need at least 2 accounts";
@@ -161,13 +254,20 @@ let generate (spec : spec) : t =
     transfers;
   }
 
-(** Total amount each account should gain/lose — used by conservation
-    tests. *)
-let expected_balance_delta (t : t) : int array =
-  let delta = Array.make t.spec.num_accounts 0 in
+let balance_delta_of_transfers ~num_accounts transfers : int array =
+  let delta = Array.make num_accounts 0 in
   Array.iter
     (fun tr ->
       delta.(tr.sender) <- delta.(tr.sender) - tr.amount;
       delta.(tr.recipient) <- delta.(tr.recipient) + tr.amount)
-    t.transfers;
+    transfers;
   delta
+
+(** Total amount each account should gain/lose — used by conservation
+    tests. *)
+let expected_balance_delta (t : t) : int array =
+  balance_delta_of_transfers ~num_accounts:t.spec.num_accounts t.transfers
+
+let expected_hotspot_balance_delta (h : hotspot) : int array =
+  balance_delta_of_transfers ~num_accounts:h.h_spec.h_num_accounts
+    h.h_transfers

@@ -12,7 +12,8 @@ let run ?config ?declared_writes ~storage txns =
 let config ?(num_domains = 1) ?(use_estimates = true)
     ?(prevalidate_reads = true) ?(prefill_estimates = false)
     ?(suspend_resume = false) ?(rolling_commit = false) ?(mv_nshards = 64)
-    ?(targeted_validation = false) ?(record_exec_ns = false) () =
+    ?(targeted_validation = false) ?(delta_ops = false)
+    ?(record_exec_ns = false) () =
   {
     Bstm.num_domains;
     use_estimates;
@@ -22,6 +23,7 @@ let config ?(num_domains = 1) ?(use_estimates = true)
     rolling_commit;
     mv_nshards;
     targeted_validation;
+    delta_ops;
     record_exec_ns;
   }
 

@@ -221,10 +221,15 @@ let test_interp_gas_accounting () =
   in
   let gas n =
     let store = Runtime.Store.create () in
+    let read = Runtime.Store.reader store in
+    let write _ _ = () in
     let effects =
       {
-        Blockstm_kernel.Txn.read = Runtime.Store.reader store;
-        write = (fun _ _ -> ());
+        Blockstm_kernel.Txn.read;
+        write;
+        delta =
+          Blockstm_kernel.Txn.rmw_delta ~read ~write
+            ~as_counter:Value.as_counter ~of_counter:Value.of_counter;
       }
     in
     let value, gas = Interp.run_with_gas c ~args:[ Value.Int n ] effects in

@@ -12,6 +12,7 @@ let check_read msg mv loc ~txn expected =
   let actual = Mv.read mv loc ~txn_idx:txn in
   let pp ppf = function
     | Mv.Ok (v, value) -> Fmt.pf ppf "Ok(%a,%d)" Version.pp v value
+    | Mv.Merged { value } -> Fmt.pf ppf "Merged(%d)" value
     | Mv.Not_found -> Fmt.string ppf "Not_found"
     | Mv.Read_error { blocking_txn_idx } ->
         Fmt.pf ppf "Read_error(%d)" blocking_txn_idx
@@ -19,6 +20,7 @@ let check_read msg mv loc ~txn expected =
   let eq a b =
     match (a, b) with
     | Mv.Ok (v1, x1), Mv.Ok (v2, x2) -> Version.equal v1 v2 && x1 = x2
+    | Mv.Merged a, Mv.Merged b -> a.value = b.value
     | Mv.Not_found, Mv.Not_found -> true
     | Mv.Read_error a, Mv.Read_error b ->
         a.blocking_txn_idx = b.blocking_txn_idx

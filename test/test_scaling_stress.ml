@@ -85,7 +85,10 @@ let actual_read_set (inst : int Bstm.instance) j : (int * origin) list =
          ( loc,
            match o with
            | Read_origin.Storage -> O_storage
-           | Read_origin.Mv v -> O_writer (Version.txn_idx v) ))
+           | Read_origin.Mv v -> O_writer (Version.txn_idx v)
+           | Read_origin.Range _ | Read_origin.Counter _
+           | Read_origin.Not_counter ->
+               Alcotest.fail "delta descriptor in a deltas-off run" ))
 
 (* Run the engine the way [Bstm.run] does, but keep the instance so the
    recorded read-sets can be inspected after the domains join. *)

@@ -86,7 +86,7 @@ and gen_bool rng ~scope ~depth : Ast.expr =
     | _ -> Ast.Exists (Ast.Addr (Rng.int rng 5), pick rng resources)
 
 let rec gen_stmt rng ~scope ~wc ~depth : Ast.stmt * string list =
-  match Rng.int rng 8 with
+  match Rng.int rng 9 with
   | 0 | 1 ->
       let x = pick rng var_pool in
       ( Ast.Let (x, gen_int rng ~scope ~depth),
@@ -128,7 +128,19 @@ let rec gen_stmt rng ~scope ~wc ~depth : Ast.stmt * string list =
             ],
             [] ),
         scope )
-  | 6 -> (Ast.Assert (gen_bool rng ~scope ~depth, "generated assert"), scope)
+  | 6 ->
+      (* Aggregator update, mostly over the bare-int counter resource "C"
+         (occasionally a struct resource: the not-a-counter abort path).
+         Literal amounts keep all three failure modes deterministic;
+         subtractions underflow against the small prefilled bases often
+         enough to exercise the bounds-violation abort. *)
+      let r = if Rng.int rng 8 = 0 then pick rng resources else "C" in
+      let addr = Ast.Addr (Rng.int rng 5) in
+      ( (if Rng.int rng 3 = 0 then
+           Ast.Agg_sub (addr, r, Ast.Int (Rng.int rng 8))
+         else Ast.Agg_add (addr, r, Ast.Int (Rng.int rng 21))),
+        scope )
+  | 7 -> (Ast.Assert (gen_bool rng ~scope ~depth, "generated assert"), scope)
   | _ -> (Ast.Expr (gen_int rng ~scope ~depth), scope)
 
 and gen_block rng ~scope ~wc ~depth : Ast.stmt list =
@@ -182,6 +194,9 @@ let base_state : (Loc.t * Value.t) list =
               (r, [ ("v", Value.Int ((a * 10) + if r = "R" then 1 else 2)) ])
           )))
     [ "R"; "S" ]
+  (* Bare-int counters for the aggregator statements; address 4 is absent
+     (an aggregator over a missing location starts from 0). *)
+  @ List.init 4 (fun a -> (Loc.make ~addr:a ~resource:"C", Value.Int (5 * a)))
 
 let exec (run : gas_limit:int -> (Loc.t, Value.t) Txn.effects -> Value.t * int)
     ~gas_limit : exec_log =
@@ -201,8 +216,12 @@ let exec (run : gas_limit:int -> (Loc.t, Value.t) Txn.effects -> Value.t * int)
     overlay := (loc, v) :: !overlay;
     writes := (loc, v) :: !writes
   in
+  let delta =
+    Txn.rmw_delta ~read ~write ~as_counter:Value.as_counter
+      ~of_counter:Value.of_counter
+  in
   let result =
-    match run ~gas_limit { Txn.read; write } with
+    match run ~gas_limit { Txn.read; write; delta } with
     | v -> Ok v
     | exception Interp.Abort m -> Error m
   in

@@ -21,6 +21,8 @@ module IntVal = struct
 
   let equal = Int.equal
   let pp = Fmt.int
+  let as_counter v = Some v
+  let of_counter v = v
 end
 
 module Mv = Blockstm_mvmemory.Mvmemory.Make (IntLoc) (IntVal)

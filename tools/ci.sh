@@ -16,7 +16,13 @@
 #     must stay allocation- and lock-free (grep gate);
 #   - the compiled MiniMove VM must stay >= 2x the tree-walk interpreter on
 #     the p2p standard workload at 1 domain (vm-cost smoke; the pure-VM
-#     replay row, which is immune to single-core scheduling noise).
+#     replay row, which is immune to single-core scheduling noise);
+#   - with config.delta_ops off (the default) the engine is byte-for-byte
+#     the paper's: fig3-fig6 virtual-time tables must match the golden
+#     captures in tools/golden/ exactly;
+#   - commutative deltas (DESIGN.md §12) must beat paper read-modify-write
+#     by >= 2x on the 2-hot-account / 8-thread hotspot-delta row (virtual
+#     time, so deterministic and enforced on any host).
 # Usage: tools/ci.sh   (run from the repository root)
 set -eu
 
@@ -133,5 +139,39 @@ if [ "$vm_comp" -lt $((2 * vm_tree)) ]; then
   exit 1
 fi
 echo "ci: vm-cost gate passed (compiled $vm_comp tps >= 2x tree-walk $vm_tree tps)"
+
+# --- Deltas-off byte-identity gate ------------------------------------------
+# config.delta_ops is strictly opt-in: with it off (the default, which is
+# what the figure experiments use) the engine must remain byte-for-byte the
+# paper's. The quick grids are virtual-time and fully deterministic, so the
+# regenerated tables must match the golden captures exactly.
+for fig in fig3 fig4 fig5 fig6; do
+  out=$(dune exec bench/main.exe -- "$fig")
+  if ! printf '%s\n' "$out" | diff "tools/golden/$fig.txt" - >/dev/null; then
+    printf '%s\n' "$out" | diff "tools/golden/$fig.txt" - | head -20 || true
+    echo "ci: FAIL — $fig output differs from tools/golden/$fig.txt (deltas-off must stay byte-identical to the paper engine)"
+    exit 1
+  fi
+done
+echo "ci: deltas-off byte-identity gate passed (fig3-fig6 match tools/golden/)"
+
+# --- Hotspot-delta smoke ----------------------------------------------------
+# Commutative delta entries (DESIGN.md §12) exist to kill the fig5 cliff:
+# on the 2-hot-account row at 8 virtual threads, delta mode must commit at
+# least 2x the paper engine's throughput (measured ~4x; virtual time, so
+# the gate holds on any host).
+out=$(dune exec bench/main.exe -- hotspot-delta)
+printf '%s\n' "$out"
+hpaper=$(printf '%s\n' "$out" | awk '$1=="2" && $2=="8" {print int($3)}')
+hdelta=$(printf '%s\n' "$out" | awk '$1=="2" && $2=="8" {print int($4)}')
+if [ -z "$hpaper" ] || [ -z "$hdelta" ] || [ "$hpaper" -le 0 ]; then
+  echo "ci: FAIL — hotspot-delta did not report paper and deltas tps on the 2-hot/8-thread row"
+  exit 1
+fi
+if [ "$hdelta" -lt $((2 * hpaper)) ]; then
+  echo "ci: FAIL — deltas ($hdelta tps) < 2x paper ($hpaper tps) at 2 hot accounts / 8 threads"
+  exit 1
+fi
+echo "ci: hotspot-delta gate passed (deltas $hdelta tps >= 2x paper $hpaper tps)"
 
 echo "ci: all checks passed"
