@@ -996,6 +996,111 @@ let vm_cost mode =
     [ P2p.Standard; P2p.Simplified ];
   Report.emit_table t
 
+(* --- State scale: incremental Merkle roots vs whole-state fold (§13) -------- *)
+
+let state_scale mode =
+  let module C = Harness.ChainX in
+  let block = 10_000 in
+  let domains = 4 in
+  let accounts_grid =
+    match mode with
+    | Quick -> [ 1_000; 10_000; 100_000 ]
+    | Full -> [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "State scale: per-block root update, whole-state fold vs \
+            incremental Merkle (transfer block %d, wall clock)"
+           block)
+      ~header:
+        [ "accounts"; "block"; "fold (ms)"; "incr (ms)"; "speedup"; "roots" ]
+  in
+  List.iter
+    (fun accounts ->
+      let w1 =
+        Bigstate.transfers ~block_size:block ~num_accounts:accounts ~seed:42 ()
+      in
+      (* Same transfer block through sequential and Block-STM (rolling commit
+         + async digest flush), both on the Merkle substrate: the
+         authenticated roots must agree at every grid point. *)
+      let seq_chain =
+        C.create ~store:`Merkle ~executor:C.Sequential ~genesis:w1.storage ()
+      in
+      let bstm_chain =
+        C.create ~store:`Merkle ~async_flush:true
+          ~executor:
+            (C.Block_stm
+               {
+                 C.Bstm.default_config with
+                 num_domains = domains;
+                 rolling_commit = true;
+               })
+          ~genesis:w1.storage ()
+      in
+      let cs = C.execute_block seq_chain w1.txns in
+      let cb = C.execute_block bstm_chain w1.txns in
+      let m = Option.get (C.merkle_state seq_chain) in
+      let roots_ok =
+        Int64.equal cs.C.state_root cb.C.state_root
+        && Int64.equal (C.Mstore.root m) (C.Mstore.recompute_root m)
+      in
+      (* Cost of folding a further block's delta into the post-state and
+         producing the new root, both substrates. The flat substrate digests
+         the whole state from scratch; the Merkle substrate refreshes only
+         the dirty digest paths. Best-of-3 over distinct deltas — per-side
+         minima, since wall-clock noise on this host only ever inflates a
+         timing. Both stores absorb every delta, so they stay in sync
+         across repetitions. *)
+      let flat_chain =
+        C.create ~store:`Flat ~executor:C.Sequential
+          ~genesis:(C.state seq_chain) ()
+      in
+      let time f = Int64.to_float (snd (Blockstm_stats.Clock.time_ns f)) in
+      let fold_ns = ref infinity and incr_ns = ref infinity in
+      List.iter
+        (fun seed ->
+          let w =
+            Bigstate.transfers ~block_size:block ~num_accounts:accounts ~seed
+              ()
+          in
+          let snapshot =
+            (Harness.run_sequential ~storage:(C.state flat_chain) w.txns)
+              .Harness.Seq.snapshot
+          in
+          let f =
+            time (fun () ->
+                Ledger.Store.apply_delta (C.state flat_chain) snapshot;
+                ignore (C.state_root flat_chain))
+          in
+          let i =
+            time (fun () ->
+                C.Mstore.apply_delta m snapshot;
+                ignore (C.Mstore.root m))
+          in
+          fold_ns := Float.min !fold_ns f;
+          incr_ns := Float.min !incr_ns i)
+        [ 43; 44; 45 ];
+      let fold_ns = !fold_ns and incr_ns = !incr_ns in
+      let speedup = fold_ns /. incr_ns in
+      let label k = Printf.sprintf "state-scale/%s/accounts=%d" k accounts in
+      Report.sample ~label:(label "fold_ns") fold_ns;
+      Report.sample ~label:(label "incr_ns") incr_ns;
+      Report.sample ~label:(label "speedup") speedup;
+      Report.sample ~label:(label "roots_equal") (if roots_ok then 1. else 0.);
+      T.add_row t
+        [
+          string_of_int accounts;
+          string_of_int block;
+          Printf.sprintf "%.2f" (fold_ns /. 1e6);
+          Printf.sprintf "%.2f" (incr_ns /. 1e6);
+          fmt_x speedup;
+          (if roots_ok then "ok" else "MISMATCH");
+        ])
+    accounts_grid;
+  Report.emit_table t
+
 (* --- Registry ---------------------------------------------------------------- *)
 
 let all : (string * string * (mode -> unit)) list =
@@ -1013,6 +1118,7 @@ let all : (string * string * (mode -> unit)) list =
     ("commit-latency", "Rolling commit: time-to-commit percentiles", commit_latency);
     ("validation-cost", "Validation cost: suffix vs targeted revalidation (§10)", validation_cost);
     ("hotspot-delta", "Hotspot deltas: commutative aggregators vs RMW (§12)", hotspot_delta);
+    ("state-scale", "State scale: incremental Merkle roots vs whole-state fold (§13)", state_scale);
     ("minimove", "MiniMove interpreter end-to-end", minimove);
     ("vm-cost", "VM cost: tree-walk vs compiled MiniMove VM (§11)", vm_cost);
   ]

@@ -19,6 +19,7 @@ module IntVal = struct
   type t = int
 
   let equal = Int.equal
+  let hash v = v * 0x9E3779B1
   let pp = Fmt.int
   let as_counter v = Some v
   let of_counter v = v

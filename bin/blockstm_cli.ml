@@ -223,6 +223,39 @@ let run_cmd =
       & info [ "blocks" ] ~docv:"N"
           ~doc:"Number of chain blocks for $(b,--pipeline).")
   in
+  let store_arg =
+    let store_conv =
+      let parse = function
+        | "flat" -> Ok `Flat
+        | "merkle" -> Ok `Merkle
+        | s -> Error (`Msg (Printf.sprintf "unknown store %S (flat|merkle)" s))
+      in
+      let print ppf s =
+        Fmt.string ppf (match s with `Flat -> "flat" | `Merkle -> "merkle")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt store_conv `Flat
+      & info [ "store" ] ~docv:"KIND"
+          ~doc:
+            "Chain state substrate for $(b,--pipeline): $(b,flat) \
+             (whole-state root fold after every block, the default) or \
+             $(b,merkle) (incremental authenticated roots, DESIGN.md §13; \
+             with $(b,--rolling) the digest is flushed asynchronously from \
+             the committed-prefix stream).")
+  in
+  let cold_ns_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cold-read-ns" ] ~docv:"NS"
+          ~doc:
+            "Run over two-tier storage where every location starts cold and \
+             a miss costs NS ns of simulated latency; enables the engine's \
+             suspend-on-cold-read path, so workers execute other \
+             transactions while a fetch is in flight (blockstm executor \
+             only).")
+  in
   let verify =
     Arg.(
       value & flag
@@ -239,7 +272,7 @@ let run_cmd =
              (blockstm executor only) — load it in chrome://tracing or \
              https://ui.perfetto.dev.")
   in
-  let run_pipeline g config executor n_blocks n =
+  let run_pipeline g config executor store n_blocks n =
     let module C = Harness.ChainX in
     let executor =
       match executor with
@@ -257,8 +290,11 @@ let run_cmd =
           Array.sub g.Synthetic.txns lo (min size (n - lo)))
       |> List.filter (fun c -> Array.length c > 0)
     in
+    let async_flush = store = `Merkle in
     let exec ~pipeline =
-      let chain = C.create ~executor ~genesis:g.Synthetic.storage () in
+      let chain =
+        C.create ~store ~async_flush ~executor ~genesis:g.Synthetic.storage ()
+      in
       let _, ns =
         Blockstm_stats.Clock.time_ns (fun () ->
             C.execute_blocks ~pipeline chain chunks)
@@ -281,7 +317,8 @@ let run_cmd =
         exit 1
   in
   let action workload accounts block seed theta executor domains suspend
-      no_estimates rolling targeted deltas pipeline blocks verify trace_out =
+      no_estimates rolling targeted deltas pipeline blocks store cold_ns
+      verify trace_out =
     let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let config =
@@ -293,9 +330,10 @@ let run_cmd =
         rolling_commit = rolling;
         targeted_validation = targeted;
         delta_ops = deltas;
+        cold_read_suspend = cold_ns > 0;
       }
     in
-    if pipeline then run_pipeline g config executor blocks n
+    if pipeline then run_pipeline g config executor store blocks n
     else begin
     let time f =
       let r, ns = Blockstm_stats.Clock.time_ns f in
@@ -314,12 +352,25 @@ let run_cmd =
                 Blockstm_obs.Trace.create ~num_workers:domains ())
               trace_out
           in
-          let r, tps =
+          let (r, cold), tps =
             time (fun () ->
-                Harness.run_blockstm ~config ?trace ~storage:g.storage
-                  g.txns)
+                if cold_ns > 0 then
+                  let r, c =
+                    Harness.run_blockstm_cold ~config ?trace ~cold_ns
+                      ~storage:g.storage g.txns
+                  in
+                  (r, Some c)
+                else
+                  ( Harness.run_blockstm ~config ?trace ~storage:g.storage
+                      g.txns,
+                    None ))
           in
           Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics r.metrics;
+          (match cold with
+          | Some c ->
+              Fmt.pr "cold fetches: %d (miss latency %d ns)@."
+                (Harness.ColdX.fetches c) cold_ns
+          | None -> ());
           if rolling && Array.length r.commit_ns > 0 then begin
             let s =
               Blockstm_stats.Descriptive.summarize
@@ -374,7 +425,8 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
       $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
-      $ targeted $ deltas $ pipeline $ blocks $ verify $ trace_out)
+      $ targeted $ deltas $ pipeline $ blocks $ store_arg $ cold_ns_arg
+      $ verify $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -453,8 +505,8 @@ let exp_cmd =
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
                 gas-sharding, real, scaling, commit-latency, \
-                validation-cost, hotspot-delta, minimove, vm-cost, micro). \
-                Repeatable; default: all.")
+                validation-cost, hotspot-delta, state-scale, minimove, \
+                vm-cost, micro). Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")

@@ -3,12 +3,22 @@
     State machine replication applies a sequence of blocks; every entity
     executing a block must arrive at the same final state (paper §1). This
     module chains block executions — folding each block's output snapshot
-    into the running state — and computes a deterministic {e state root} (a
-    fold hash over the sorted snapshot) after every block, so two replicas
-    can compare roots exactly the way validators do. The executor is
-    pluggable: Block-STM with any configuration, or the sequential baseline,
-    must yield identical roots — the repository's end-to-end consensus
-    check. *)
+    into the running state — and computes a deterministic {e state root}
+    after every block, so two replicas can compare roots exactly the way
+    validators do. The executor is pluggable: Block-STM with any
+    configuration, or the sequential baseline, must yield identical roots —
+    the repository's end-to-end consensus check.
+
+    The state substrate is pluggable too (DESIGN.md §13). The default flat
+    store digests the whole state with an O(n) sorted fold after every block
+    — the paper-faithful baseline. The authenticated [`Merkle] substrate
+    maintains the root incrementally: folding a block's delta touches only
+    the affected digest buckets, so the root update is O(|delta| · log
+    buckets), and with [async_flush] the digest work rides the engine's
+    committed-prefix stream, overlapping tail execution. Both substrates are
+    deterministic functions of the final state, so replicas on different
+    substrates still agree with {e themselves} — roots are only comparable
+    between replicas using the same substrate. *)
 
 open Blockstm_kernel
 
@@ -16,6 +26,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   module Bstm = Blockstm_core.Block_stm.Make (L) (V)
   module Seq = Blockstm_baselines.Sequential.Make (L) (V)
   module Store = Blockstm_storage.Memstore.Make (L) (V)
+  module Mstore = Blockstm_storage.Merkle.Make (L) (V)
 
   (** How blocks are executed. *)
   type executor =
@@ -27,18 +38,29 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     height : int;  (** 1-based block height. *)
     txn_count : int;
     outputs : 'o Txn.output array;
+        (** Empty if pruned by bounded retention ([outputs_retained]). *)
+    outputs_retained : bool;
+        (** [false] once the retention window dropped this block's outputs;
+            roots and metrics are always kept. *)
     state_root : int64;  (** Deterministic digest of the full state. *)
     delta_root : int64;  (** Digest of just this block's write snapshot. *)
     metrics : Bstm.metrics option;  (** Present for Block-STM execution. *)
   }
 
+  (* The running state: a flat table digested from scratch each block, or
+     the incrementally-hashed Merkle substrate. *)
+  type state_store = S_flat of Store.t | S_merkle of Mstore.t
+
   type 'o t = {
     executor : executor;
-    state : Store.t;
+    state : state_store;
     mutable height : int;
     mutable commits : 'o block_commit list;  (* newest first *)
     hash_loc : L.t -> int;
     hash_value : V.t -> int;
+    retain_outputs : int option;
+        (* Keep full outputs for the newest N commits only. *)
+    async_flush : bool;
   }
 
   (* FNV-1a-style fold over 64-bit lanes: deterministic, order-sensitive
@@ -55,54 +77,147 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       fnv_offset pairs
 
   (** [create ~executor ~genesis ()] starts a chain whose state is a private
-      copy of [genesis]. [hash_loc]/[hash_value] default to [L.hash] and
-      [Hashtbl.hash]; supply a structural hash for values whose generic hash
-      is unstable. *)
-  let create ?(hash_loc = L.hash) ?(hash_value = fun v -> Hashtbl.hash v)
-      ~executor ~(genesis : Store.t) () : 'o t =
+      copy of [genesis].
+
+      [store] selects the substrate: [`Flat] (default — the paper-faithful
+      whole-state fold) or [`Merkle] (incremental authenticated roots;
+      [merkle_buckets] sizes its digest tree, default
+      {!Mstore.default_buckets}). [async_flush] (Merkle only) stages
+      committed writes into the digest from a flusher domain fed by the
+      engine's committed-prefix stream — effective when the executor is
+      Block-STM with [rolling_commit]; otherwise the delta is folded
+      synchronously after the block, same roots either way.
+
+      [retain_outputs] bounds chain history: only the newest N commits keep
+      their [outputs] arrays (roots and metrics are kept forever).
+
+      [hash_loc]/[hash_value] parameterize the flat digests and default to
+      the structural [L.hash]/[V.hash]; the Merkle substrate always uses the
+      structural hashes. *)
+  let create ?(hash_loc = L.hash) ?(hash_value = V.hash) ?(store = `Flat)
+      ?merkle_buckets ?retain_outputs ?(async_flush = false) ~executor
+      ~(genesis : Store.t) () : 'o t =
+    (match retain_outputs with
+    | Some w when w < 0 ->
+        invalid_arg "Chain.create: retain_outputs must be >= 0"
+    | _ -> ());
+    let state =
+      match store with
+      | `Flat -> S_flat (Store.copy genesis)
+      | `Merkle -> S_merkle (Mstore.of_store ?buckets:merkle_buckets genesis)
+    in
+    if async_flush && store = `Flat then
+      invalid_arg "Chain.create: async_flush requires the merkle store";
     {
       executor;
-      state = Store.copy genesis;
+      state;
       height = 0;
       commits = [];
       hash_loc;
       hash_value;
+      retain_outputs;
+      async_flush;
     }
 
   let height t = t.height
-  let state t = t.state
+
+  (** The flat view of the current state (the Merkle substrate's base
+      tier). Treat as read-only: direct mutation desynchronizes the
+      authenticated digest. *)
+  let state t =
+    match t.state with S_flat s -> s | S_merkle m -> Mstore.base m
+
+  (** The Merkle substrate, when this chain uses one — exposed so tests can
+      check the incremental root against {!Mstore.recompute_root}. *)
+  let merkle_state t =
+    match t.state with S_flat _ -> None | S_merkle m -> Some m
+
   let commits t = List.rev t.commits
   let last_commit t = match t.commits with [] -> None | c :: _ -> Some c
 
   let state_root t : int64 =
-    digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value
-      (Store.to_alist t.state)
+    match t.state with
+    | S_flat s ->
+        digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value
+          (Store.to_alist s)
+    | S_merkle m -> Mstore.root m
+
+  let storage_reader t : (L.t, V.t) Intf.storage =
+    match t.state with S_flat s -> Store.reader s | S_merkle m -> Mstore.reader m
+
+  let apply_state_delta t (snapshot : (L.t * V.t) list) : unit =
+    match t.state with
+    | S_flat s -> Store.apply_delta s snapshot
+    | S_merkle m ->
+        (* Idempotent re-application: bindings the async flusher already
+           staged and committed are value-equal no-ops in the digest. *)
+        Mstore.apply_delta m snapshot
+
+  (* Bounded history retention: blank the outputs of commits beyond the
+     window. The commits list is newest-first, so walk [window] entries,
+     then prune until the first already-pruned commit — everything older is
+     already pruned (the tail is shared, not copied), keeping the per-block
+     cost O(window). *)
+  let prune_history t : unit =
+    match t.retain_outputs with
+    | None -> ()
+    | Some window ->
+        let rec go i = function
+          | [] -> []
+          | (c : 'o block_commit) :: rest ->
+              if i < window then c :: go (i + 1) rest
+              else if not c.outputs_retained then c :: rest
+              else
+                { c with outputs = [||]; outputs_retained = false }
+                :: go (i + 1) rest
+        in
+        t.commits <- go 0 t.commits
 
   let run_executor ?declared_writes (t : 'o t)
       (txns : (L.t, V.t, 'o) Txn.t array) =
     match t.executor with
     | Sequential ->
-        let r = Seq.run ~storage:(Store.reader t.state) txns in
+        let r = Seq.run ~storage:(storage_reader t) txns in
         (r.snapshot, r.outputs, None)
-    | Block_stm config ->
-        let r =
-          Bstm.run ~config ?declared_writes ~storage:(Store.reader t.state)
-            txns
-        in
-        (r.snapshot, r.outputs, Some r.metrics)
+    | Block_stm config -> (
+        match t.state with
+        | S_merkle m when t.async_flush && config.rolling_commit ->
+            (* Digest maintenance overlaps tail execution: the engine's
+               committed-prefix flushes stream (in commit order) into a
+               flusher domain that stages them into the Merkle accumulators
+               while later transactions still execute. The flusher never
+               touches the base tier — workers keep reading start-of-block
+               state — so [commit_staged] below runs only after the engine
+               is done. *)
+            let fl = Mstore.start_flusher m in
+            let r =
+              Bstm.run ~config ?declared_writes
+                ~on_flush:(fun batch -> Mstore.flusher_push fl batch)
+                ~storage:(Mstore.reader m) txns
+            in
+            Mstore.stop_flusher fl;
+            Mstore.commit_staged m;
+            (r.snapshot, r.outputs, Some r.metrics)
+        | _ ->
+            let r =
+              Bstm.run ~config ?declared_writes ~storage:(storage_reader t)
+                txns
+            in
+            (r.snapshot, r.outputs, Some r.metrics))
 
   (** Execute and commit one block. Returns the commit record; the chain
       state advances to the block's post-state. *)
   let execute_block ?declared_writes (t : 'o t)
       (txns : (L.t, V.t, 'o) Txn.t array) : 'o block_commit =
     let snapshot, outputs, metrics = run_executor ?declared_writes t txns in
-    Store.apply_delta t.state snapshot;
+    apply_state_delta t snapshot;
     t.height <- t.height + 1;
     let commit =
       {
         height = t.height;
         txn_count = Array.length txns;
         outputs;
+        outputs_retained = true;
         state_root = state_root t;
         delta_root =
           digest ~hash_loc:t.hash_loc ~hash_value:t.hash_value snapshot;
@@ -110,6 +225,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       }
     in
     t.commits <- commit :: t.commits;
+    prune_history t;
     commit
 
   (* A block whose transactions have executed and whose delta is folded into
@@ -129,58 +245,69 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       finalization — the digest over the full post-state — runs in a
       background domain while block [h+1] executes, the streaming analogue of
       the rolling engine commit one level up: the root is still computed over
-      a frozen copy of exactly the state [execute_block] would digest, so
-      commits (heights, roots, outputs) are identical either way. *)
+      a frozen copy of exactly the state {!execute_block} would digest, so
+      commits (heights, roots, outputs) are identical either way.
+
+      On the Merkle substrate the root is incremental — O(|delta| · log
+      buckets), nothing worth pipelining — so [pipeline] is a no-op there and
+      blocks take the plain {!execute_block} path. *)
   let execute_blocks ?(pipeline = false) (t : 'o t)
       (blocks : (L.t, V.t, 'o) Txn.t array list) : 'o block_commit list =
-    if not pipeline then List.map (fun txns -> execute_block t txns) blocks
-    else begin
-      let committed = ref [] in
-      let finish (p : 'o pending_commit) : unit =
-        let commit =
-          {
-            height = p.p_height;
-            txn_count = p.p_txn_count;
-            outputs = p.p_outputs;
-            state_root = Domain.join p.p_root;
-            delta_root = p.p_delta_root;
-            metrics = p.p_metrics;
-          }
-        in
-        t.commits <- commit :: t.commits;
-        committed := commit :: !committed
-      in
-      let pending = ref None in
-      List.iter
-        (fun txns ->
-          let snapshot, outputs, metrics = run_executor t txns in
-          Store.apply_delta t.state snapshot;
-          t.height <- t.height + 1;
-          (* Freeze the post-state before the next block mutates it; the
-             digest domain only reads the frozen copy (the sort inside
-             [to_alist] and the fold both run off the critical path). *)
-          let frozen = Store.copy t.state in
-          let hash_loc = t.hash_loc and hash_value = t.hash_value in
-          let p =
-            {
-              p_height = t.height;
-              p_txn_count = Array.length txns;
-              p_outputs = outputs;
-              p_delta_root = digest ~hash_loc ~hash_value snapshot;
-              p_metrics = metrics;
-              p_root =
-                Domain.spawn (fun () ->
-                    digest ~hash_loc ~hash_value (Store.to_alist frozen));
-            }
+    let plain () = List.map (fun txns -> execute_block t txns) blocks in
+    match t.state with
+    | S_merkle _ -> plain ()
+    | S_flat flat ->
+        if not pipeline then plain ()
+        else begin
+          let committed = ref [] in
+          let finish (p : 'o pending_commit) : unit =
+            let commit =
+              {
+                height = p.p_height;
+                txn_count = p.p_txn_count;
+                outputs = p.p_outputs;
+                outputs_retained = true;
+                state_root = Domain.join p.p_root;
+                delta_root = p.p_delta_root;
+                metrics = p.p_metrics;
+              }
+            in
+            t.commits <- commit :: t.commits;
+            prune_history t;
+            committed := commit :: !committed
           in
-          (* Join the previous block's root only now — its digest overlapped
-             this block's execution — keeping commits in height order. *)
+          let pending = ref None in
+          List.iter
+            (fun txns ->
+              let snapshot, outputs, metrics = run_executor t txns in
+              Store.apply_delta flat snapshot;
+              t.height <- t.height + 1;
+              (* Freeze the post-state before the next block mutates it; the
+                 digest domain only reads the frozen copy (the sort inside
+                 [to_alist] and the fold both run off the critical path). *)
+              let frozen = Store.copy flat in
+              let hash_loc = t.hash_loc and hash_value = t.hash_value in
+              let p =
+                {
+                  p_height = t.height;
+                  p_txn_count = Array.length txns;
+                  p_outputs = outputs;
+                  p_delta_root = digest ~hash_loc ~hash_value snapshot;
+                  p_metrics = metrics;
+                  p_root =
+                    Domain.spawn (fun () ->
+                        digest ~hash_loc ~hash_value (Store.to_alist frozen));
+                }
+              in
+              (* Join the previous block's root only now — its digest
+                 overlapped this block's execution — keeping commits in
+                 height order. *)
+              (match !pending with Some prev -> finish prev | None -> ());
+              pending := Some p)
+            blocks;
           (match !pending with Some prev -> finish prev | None -> ());
-          pending := Some p)
-        blocks;
-      (match !pending with Some prev -> finish prev | None -> ());
-      List.rev !committed
-    end
+          List.rev !committed
+        end
 
   (** Replica divergence check: do two chains agree on every committed
       root? Returns the height of the first divergence, if any. *)
@@ -197,6 +324,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     scan (ra, rb)
 
   let pp_commit ppf (c : 'o block_commit) =
-    Fmt.pf ppf "block %d: %d txns, state_root=%Lx delta_root=%Lx" c.height
-      c.txn_count c.state_root c.delta_root
+    Fmt.pf ppf "block %d: %d txns%s, state_root=%Lx delta_root=%Lx" c.height
+      c.txn_count
+      (if c.outputs_retained then "" else " (outputs pruned)")
+      c.state_root c.delta_root
 end

@@ -68,17 +68,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     delta_applies : int;
         (** Commutative delta entries recorded by committed-to-MVMemory
             incarnations (0 unless [delta_ops]). *)
+    cold_reads : int;
+        (** Executions suspended on a cold storage probe (0 unless
+            [cold_read_suspend] with a cold-capable probe). *)
   }
 
   let pp_metrics ppf m =
     Fmt.pf ppf
       "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
        preval_skips=%d; resumed=%d; discarded=%d; commits=%d; targeted=%d; \
-       suffix_avoided=%d; prunes=%d; deltas=%d }"
+       suffix_avoided=%d; prunes=%d; deltas=%d; cold=%d }"
       m.incarnations m.dependency_aborts m.validations m.validation_aborts
       m.prevalidation_skips m.resumptions m.discarded_suspensions m.commits
       m.targeted_validations m.suffix_validations_avoided m.value_prune_hits
-      m.delta_applies
+      m.delta_applies m.cold_reads
 
   type config = {
     num_domains : int;  (** Worker domains (>= 1). *)
@@ -136,6 +139,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             final incarnation in [result.exec_ns] (the vm-cost experiment's
             per-txn histogram). Default [false]: the hot path takes no
             timestamps. *)
+    cold_read_suspend : bool;
+        (** Storage-layer use of the suspend/resume machinery (DESIGN.md
+            §13): when the non-blocking storage [probe] reports a miss, the
+            transaction suspends through an effect handler (like an ESTIMATE
+            read in suspend_resume mode), the worker runs the fetch, and the
+            execution task is retried immediately — resuming the continuation
+            after re-validating the read prefix, with the retried probe now
+            hitting the warmed cache. [false] (the default) pays the fetch
+            latency inline inside the VM read. No effect unless [probe] is
+            given. *)
   }
 
   let default_config =
@@ -150,6 +163,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       targeted_validation = false;
       delta_ops = false;
       record_exec_ns = false;
+      cold_read_suspend = false;
     }
 
   type 'o result = {
@@ -184,6 +198,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let stat_vm_writes = 8
   let stat_value_prune_hits = 9
   let stat_delta_applies = 10
+  let stat_cold_reads = 11
 
   let stat_names =
     [|
@@ -198,11 +213,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       "vm_writes";
       "value_prune_hits";
       "delta_applies";
+      "cold_reads";
     |]
 
   type 'o instance = {
     txns : 'o txn array;
     storage : (L.t, V.t) Intf.storage;
+    probe : (L.t, V.t) Intf.storage_nb option;
+        (* Non-blocking storage view. When present, the VM's storage
+           fall-through goes through it; a [Cold] answer either pays the
+           fetch inline or (cold_read_suspend) suspends the transaction. *)
     mv : Mv.t;
     sched : Scheduler.t;
     cfg : config;
@@ -248,6 +268,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            after all domains join. Each incarnation overwrites, so the final
            value is the committed incarnation's. *)
     on_commit : (int -> 'o txn_output -> unit) option;
+    on_flush : ((L.t * V.t) array -> unit) option;
+        (* Committed-prefix flush sink (rolling_commit only): forwarded to
+           MVMemory's [flush_committed ~on_batch], which delivers batches in
+           commit order from inside its flush critical section. *)
   }
 
   and 'o suspension_slot = 'o suspension option Atomic.t
@@ -269,6 +293,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             (** Present in suspend_resume mode: the captured continuation
                 plus the read prefix observed before the blocking read. *)
       }
+    | Vm_cold of {
+        c_fetch : unit -> unit;
+            (** Completes the storage fetch; afterwards the probe hits. *)
+        c_reads : int;
+        c_suspension : 'o suspension;
+            (** Always present: cold suspension exists only to park the
+                continuation across the fetch (cold_read_suspend mode). *)
+      }
 
   and 'o vm_result = {
     vm_read_set : Mv.read_set;
@@ -282,12 +314,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   }
 
   let create_instance ?(config = default_config) ?declared_writes ?trace
-      ?on_commit ~storage (txns : 'o txn array) : 'o instance =
+      ?on_commit ?on_flush ?probe ~storage (txns : 'o txn array) :
+      'o instance =
     let n = Array.length txns in
     if config.num_domains < 1 then
       invalid_arg "Block_stm: num_domains must be >= 1";
     if on_commit <> None && not config.rolling_commit then
       invalid_arg "Block_stm: on_commit requires rolling_commit";
+    if on_flush <> None && not config.rolling_commit then
+      invalid_arg "Block_stm: on_flush requires rolling_commit";
     (match trace with
     | Some tr when Trace.num_workers tr < config.num_domains ->
         invalid_arg "Block_stm: trace has fewer workers than num_domains"
@@ -315,6 +350,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     {
       txns;
       storage;
+      probe;
       mv;
       sched =
         Scheduler.create ~rolling:config.rolling_commit
@@ -337,6 +373,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       commit_ns = (if config.rolling_commit then Array.make n (-1) else [||]);
       exec_ns = (if config.record_exec_ns then Array.make n 0 else [||]);
       on_commit;
+      on_flush;
     }
 
   (* ---------------------------------------------------------------------- *)
@@ -344,6 +381,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (* ---------------------------------------------------------------------- *)
 
   type _ Effect.t += Blocked_read : int -> unit Effect.t
+
+  (* Performed when the storage probe answers [Cold] in cold_read_suspend
+     mode; carries the fetch thunk for the handler's caller to run. *)
+  type _ Effect.t += Cold_read : (unit -> unit) -> unit Effect.t
 
   exception Discarded_suspension
 
@@ -394,7 +435,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      suspend_resume allocates fresh buffers instead of the domain scratch: a
      captured continuation closes over the buffers, and the next incarnation
      may run on a different domain — or this domain may run other
-     incarnations first, which would clobber the suspended state. *)
+     incarnations first, which would clobber the suspended state.
+
+     Cold suspensions (cold_read_suspend without suspend_resume) DO reuse the
+     domain scratch: [finish_task] hands the execution task straight back to
+     the same worker, which runs the fetch and retries before starting any
+     other incarnation on this domain, so nothing can clobber the scratch
+     while the continuation is parked. *)
   let vm_execute (inst : 'o instance) ~(txn_idx : int) : 'o vm_outcome =
     let txn = inst.txns.(txn_idx) in
     let sc =
@@ -407,6 +454,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     LTbl.clear sc.s_deltas;
     sc.s_dorder <- [];
     let nreads = ref 0 in
+    (* Storage fall-through, routed through the non-blocking probe when one
+       is wired. A [Cold] miss either suspends the transaction across the
+       fetch (cold_read_suspend: the retried probe after resumption hits the
+       warmed cache) or pays the fetch latency inline. *)
+    let storage_read loc =
+      match inst.probe with
+      | None -> inst.storage loc
+      | Some probe ->
+          let rec go () =
+            match probe loc with
+            | Intf.Hit v -> v
+            | Intf.Cold fetch ->
+                if inst.cfg.cold_read_suspend then begin
+                  Effect.perform (Cold_read (fun () -> ignore (fetch ())));
+                  go ()
+                end
+                else fetch ()
+          in
+          go ()
+    in
     let read loc =
       incr nreads;
       match LTbl.find_opt sc.s_writes loc with
@@ -431,7 +498,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                     else raise (Dependency blocking_txn_idx)
                 | Mv.Not_found ->
                     push_read sc (loc, Read_origin.Storage);
-                    inst.storage loc
+                    storage_read loc
                 | Mv.Ok (version, value) ->
                     push_read sc (loc, Read_origin.Mv version);
                     Some value
@@ -498,7 +565,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 | Mv.Merged { value } -> Some value
                 | Mv.Ok (_, value) -> V.as_counter value
                 | Mv.Not_found -> (
-                    match inst.storage loc with
+                    match storage_read loc with
                     | None -> Some 0 (* absent counts as 0 *)
                     | Some v -> V.as_counter v)
               in
@@ -586,6 +653,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                               s_prefix = Array.sub sc.r_buf 0 sc.r_len;
                             };
                       })
+            | Cold_read fetch ->
+                Some
+                  (fun (k : (a, 'o vm_outcome) Effect.Deep.continuation) ->
+                    Vm_cold
+                      {
+                        c_fetch = fetch;
+                        c_reads = !nreads;
+                        c_suspension =
+                          {
+                            s_resume = k;
+                            s_prefix = Array.sub sc.r_buf 0 sc.r_len;
+                          };
+                      })
             | _ -> None);
       }
 
@@ -610,6 +690,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Got_task
     | No_task
     | Committed of { upto : int; count : int }
+    | Cold_fetch of { version : Version.t; reads : int }
 
   (* §4 optimization: before re-running the VM, re-read the previous
      incarnation's read-set; return the first blocking transaction if any
@@ -644,6 +725,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         reads : int;
         suspension : 'o suspension option;
       }
+    | P_exec_cold of {
+        version : Version.t;
+        reads : int;
+        fetch : unit -> unit;
+        suspension : 'o suspension;
+      }
+        (** Execution parked on a cold storage read (cold_read_suspend):
+            {!finish_task} stashes the continuation, runs the fetch, and
+            hands the execution task back for an immediate same-worker
+            retry (no scheduler abort — the incarnation is still live). *)
     | P_val of { version : Version.t; wave : int; valid : bool; reads : int }
 
   (** Planned work profile of a pending task, for cost models. *)
@@ -652,6 +743,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | P_exec { vm; prefix_paid; _ } ->
         `Exec (max 0 (vm.vm_reads - prefix_paid), vm.vm_writes)
     | P_exec_dep { reads; _ } -> `Dep reads
+    (* The simulator never wires a probe, so this only shows up for real
+       executions; profile like a dependency stop. *)
+    | P_exec_cold { reads; _ } -> `Dep reads
     | P_val { reads; _ } -> `Val reads
 
   (* Per-worker batched metric accumulation: the step loop counts into a
@@ -688,7 +782,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            mid-execution, resume its continuation provided the read prefix
            still validates; otherwise discard it and start over. *)
         let stashed =
-          if inst.cfg.suspend_resume then
+          if inst.cfg.suspend_resume || inst.cfg.cold_read_suspend then
             Atomic.exchange inst.suspensions.(txn_idx) None
           else None
         in
@@ -727,10 +821,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         (if inst.cfg.record_exec_ns then
            match outcome with
            | Vm_done _ -> inst.exec_ns.(txn_idx) <- Trace.now_ns () - t0
-           | Vm_blocked _ -> ());
+           | Vm_blocked _ | Vm_cold _ -> ());
         match outcome with
         | Vm_blocked { blocking; reads_so_far; suspension } ->
             P_exec_dep { version; blocking; reads = reads_so_far; suspension }
+        | Vm_cold { c_fetch; c_reads; c_suspension } ->
+            P_exec_cold
+              { version; reads = c_reads; fetch = c_fetch;
+                suspension = c_suspension }
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
     | Scheduler.Validation (version, wave) ->
         let txn_idx = Version.txn_idx version in
@@ -774,6 +872,19 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               ~wrote_new_location
         in
         (next, Executed { version; reads = vm.vm_reads; writes = vm.vm_writes })
+    | P_exec_cold { version; reads; fetch; suspension } ->
+        bump stats stat_cold_reads;
+        let txn_idx = Version.txn_idx version in
+        (* Stash, fetch, then hand the task back: the same worker retries
+           immediately (mirroring the resolved-dependency path below), finds
+           the suspension, re-validates the prefix and resumes — with the
+           retried probe hitting the cache the fetch just warmed. No
+           scheduler interaction: the incarnation never aborted, so no other
+           domain can claim this transaction meanwhile — which is also what
+           makes reusing the domain scratch across the park safe. *)
+        Atomic.set inst.suspensions.(txn_idx) (Some suspension);
+        fetch ();
+        (Some (Scheduler.Execution version), Cold_fetch { version; reads })
     | P_exec_dep { version; blocking; reads; suspension } ->
         bump stats stat_dep_aborts;
         let txn_idx = Version.txn_idx version in
@@ -878,7 +989,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         Scheduler.try_advance_commit inst.sched ~on_commit:(commit_one inst)
       in
       if n > 0 then
-        Mv.flush_committed inst.mv
+        Mv.flush_committed ?on_batch:inst.on_flush inst.mv
           ~upto:(Scheduler.committed_prefix inst.sched);
       n
     end
@@ -953,6 +1064,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       suffix_validations_avoided = Scheduler.suffix_avoided inst.sched;
       value_prune_hits = v stat_value_prune_hits;
       delta_applies = v stat_delta_applies;
+      cold_reads = v stat_cold_reads;
     }
 
   let sched (inst : _ instance) : Scheduler.t = inst.sched
@@ -993,7 +1105,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         if prefix <> n then
           Fmt.failwith
             "Block_stm: rolling commit stalled at %d/%d transactions" prefix n;
-        Mv.flush_committed inst.mv ~upto:n;
+        Mv.flush_committed ?on_batch:inst.on_flush inst.mv ~upto:n;
         Mv.committed_snapshot inst.mv
       end
       else
@@ -1019,9 +1131,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       its preset serialization order. Spawns [config.num_domains - 1] extra
       domains and participates with the calling domain. *)
   let run ?(config = default_config) ?declared_writes ?trace ?on_commit
-      ~storage (txns : 'o txn array) : 'o result =
+      ?on_flush ?probe ~storage (txns : 'o txn array) : 'o result =
     let inst =
-      create_instance ~config ?declared_writes ?trace ?on_commit ~storage txns
+      create_instance ~config ?declared_writes ?trace ?on_commit ?on_flush
+        ?probe ~storage txns
     in
     if Array.length txns = 0 then
       {

@@ -68,6 +68,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     delta_applies : int;
         (** Commutative delta entries recorded into MVMemory (0 unless
             [delta_ops]). *)
+    cold_reads : int;
+        (** Executions suspended on a cold storage probe (0 unless
+            [cold_read_suspend] with a cold-capable [probe]). *)
   }
 
   val pp_metrics : Format.formatter -> metrics -> unit
@@ -125,6 +128,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             final (committed) incarnation in [result.exec_ns] — the vm-cost
             experiment's per-txn histogram source. Default [false]: the hot
             path takes no timestamps. *)
+    cold_read_suspend : bool;
+        (** Storage-layer use of the suspend/resume machinery (DESIGN.md
+            §13): when the non-blocking storage [probe] reports a cold miss,
+            the transaction suspends through an effect handler, the worker
+            completes the fetch, and the execution task is retried
+            immediately — re-validating the read prefix and resuming the
+            continuation, with the retried probe hitting the warmed cache.
+            [false] (the default) pays the fetch latency inline. No effect
+            unless [probe] is given. *)
   }
 
   val default_config : config
@@ -153,6 +165,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     ?declared_writes:L.t array array ->
     ?trace:Trace.t ->
     ?on_commit:(int -> 'o txn_output -> unit) ->
+    ?on_flush:((L.t * V.t) array -> unit) ->
+    ?probe:(L.t, V.t) Intf.storage_nb ->
     storage:(L.t, V.t) Intf.storage ->
     'o txn array ->
     'o instance
@@ -163,9 +177,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       transaction's final output as it commits — called exactly once per
       transaction, in preset order (j = 0, 1, ...), from whichever domain
       advances the commit sweep, under the scheduler's commit mutex (keep it
-      cheap). Requires [config.rolling_commit].
+      cheap). Requires [config.rolling_commit]. [on_flush batch] streams the
+      [(location, committed value)] pairs each committed-prefix flush folded
+      into MVMemory's committed base — batches arrive in commit order, from
+      inside the flush critical section (keep it cheap: enqueue, don't
+      process); requires [config.rolling_commit]. [probe] is the
+      non-blocking storage view backing [config.cold_read_suspend] (and,
+      when given, replaces [storage] in the VM's fall-through reads —
+      [storage] itself must agree with it, and still serves MVMemory's
+      committed delta folds).
       @raise Invalid_argument on bad [config] / [declared_writes] / [trace] /
-      [on_commit] combinations. *)
+      [on_commit] / [on_flush] combinations. *)
 
   val sched : 'o instance -> Scheduler.t
   (** The collaborative scheduler driving this instance — exposed for the
@@ -176,7 +198,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       ["dependency_aborts"], ["validations"], ["validation_aborts"],
       ["prevalidation_skips"], ["resumptions"], ["discarded_suspensions"],
       ["vm_reads"], ["vm_writes"], ["value_prune_hits"], ["delta_applies"],
-      ["commits"],
+      ["cold_reads"], ["commits"],
       ["targeted_validations"], ["suffix_validations_avoided"] and
       ["targeted_fallbacks"] (the targeted_* family populated at {!finalize},
       non-zero only with [targeted_validation]); histograms ["exec_step_ns"]
@@ -208,6 +230,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     | Got_task
     | No_task
     | Committed of { upto : int; count : int }
+    | Cold_fetch of { version : Version.t; reads : int }
 
   type 'o pending
   (** Work whose observable reads have happened but whose effects are not
@@ -258,6 +281,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     ?declared_writes:L.t array array ->
     ?trace:Trace.t ->
     ?on_commit:(int -> 'o txn_output -> unit) ->
+    ?on_flush:((L.t * V.t) array -> unit) ->
+    ?probe:(L.t, V.t) Intf.storage_nb ->
     storage:(L.t, V.t) Intf.storage ->
     'o txn array ->
     'o result

@@ -27,6 +27,16 @@ module type VALUE = sig
   type t
 
   val equal : t -> t -> bool
+
+  val hash : t -> int
+  (** Structural hash, consistent with [equal] and stable across processes:
+      the chain's state digests and the Merkle substrate (DESIGN.md §13)
+      fold it into roots that replicas compare byte-for-byte, so it must
+      depend only on the value's contents — never on physical identity, and
+      never through the depth/width-limited generic [Hashtbl.hash] for
+      values with unbounded payloads (hash every byte of a string, every
+      field of a record). *)
+
   val pp : Format.formatter -> t -> unit
 
   val as_counter : t -> int option
@@ -41,3 +51,19 @@ end
 (** Read-only snapshot of the state as of the beginning of the block: the
     paper's [Storage] module. [None] means the location does not exist. *)
 type ('loc, 'value) storage = 'loc -> 'value option
+
+(** Outcome of a {e non-blocking} storage probe (DESIGN.md §13).
+
+    [Hit v] answers immediately from the hot tier ([None] = the location
+    does not exist). [Cold fetch] means the location is not resident: the
+    backend has started (or is prepared to start) a fetch, and [fetch ()]
+    blocks until it completes, returning the value. A completed fetch must
+    make subsequent probes of the same location answer [Hit] — the engine's
+    suspend-on-cold-read path relies on the retry after resumption hitting
+    the hot tier. *)
+type 'value cold_read = Hit of 'value option | Cold of (unit -> 'value option)
+
+(** Non-blocking form of {!storage}: lets the executor observe a storage
+    miss (and suspend the transaction through the effects machinery) instead
+    of stalling inside an opaque blocking read. *)
+type ('loc, 'value) storage_nb = 'loc -> 'value cold_read

@@ -16,6 +16,10 @@ type t =
   | Committed of { upto : int; count : int }
       (** The rolling-commit sweep advanced: [count] transactions became
           final, making [upto] the committed-prefix length. *)
+  | Cold_fetch of { version : Version.t; reads : int }
+      (** Execution suspended on a cold storage read (cold_read_suspend
+          mode); [reads] performed before suspending. The fetch completes
+          and the execution task is retried, resuming the continuation. *)
 
 let pp ppf = function
   | Executed { version; reads; writes } ->
@@ -29,3 +33,5 @@ let pp ppf = function
   | No_task -> Fmt.string ppf "no-task"
   | Committed { upto; count } ->
       Fmt.pf ppf "committed[upto=%d,count=%d]" upto count
+  | Cold_fetch { version; reads } ->
+      Fmt.pf ppf "cold-fetch%a[r=%d]" Version.pp version reads

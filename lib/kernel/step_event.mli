@@ -16,5 +16,9 @@ type t =
   | Committed of { upto : int; count : int }
       (** The rolling-commit sweep advanced: [count] transactions became
           final, making [upto] the committed-prefix length. *)
+  | Cold_fetch of { version : Version.t; reads : int }
+      (** Execution suspended on a cold storage read (cold_read_suspend
+          mode); [reads] performed before suspending. The fetch completes
+          and the execution task is retried, resuming the continuation. *)
 
 val pp : Format.formatter -> t -> unit

@@ -31,6 +31,29 @@ module Value = struct
              f1 f2
     | _ -> false
 
+  (* Structural hash (Intf.VALUE): recurses into struct fields and hashes
+     every byte of string payloads (FNV-1a), so two structurally equal
+     resources hash identically in every replica — the chain's Merkle
+     substrate folds this into comparable state roots. *)
+  let fnv_bytes (s : string) : int =
+    let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+    !h land max_int
+
+  let combine h x = ((h * 0x100000001b3) lxor x) land max_int
+
+  let rec hash = function
+    | Unit -> 0x11
+    | Int i -> (i * 0x9E3779B1) lxor 0x22
+    | Bool b -> if b then 0x3_5A5A else 0x2_A5A5
+    | Str s -> fnv_bytes s lxor 0x33
+    | Addr a -> (a * 0x9E3779B1) lxor 0x44
+    | Struct (name, fields) ->
+        List.fold_left
+          (fun h (f, v) -> combine (combine h (fnv_bytes f)) (hash v))
+          (combine 0x55 (fnv_bytes name))
+          fields
+
   let rec pp ppf = function
     | Unit -> Fmt.string ppf "()"
     | Int i -> Fmt.int ppf i

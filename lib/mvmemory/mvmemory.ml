@@ -877,10 +877,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       flush (same value, same version descriptor): each per-cell base
       promotion is a single snapshot CAS, so no reader ever sees the entry
       both gone from the chain and absent from the base. *)
-  let flush_committed t ~(upto : int) : unit =
+  let flush_committed ?on_batch t ~(upto : int) : unit =
     if upto < 0 || upto > t.block_size then
       invalid_arg "Mvmemory.flush_committed: upto out of range";
     Mutex.lock t.flush_mutex;
+    (* Flushed (loc, committed value) pairs for [on_batch], in ascending-[j]
+       order. Collected AFTER each cell update succeeds — [cell_update] is a
+       CAS retry loop, so side effects inside the update function could fire
+       more than once. *)
+    let batch = ref [] in
     for j = t.flushed_upto to upto - 1 do
       (* [last_written] is final for a committed transaction. Ascending [j]
          keeps the base at the highest committed writer per location. *)
@@ -930,10 +935,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                       (* A committed transaction has no unresolved
                          estimates. *)
                       assert false
-                  | None -> s))
+                  | None -> s);
+              (match on_batch with
+              | None -> ()
+              | Some _ -> (
+                  (* The promotion above is the only base writer (we hold
+                     the flush mutex), so the cell's base now holds [j]'s
+                     committed value for [loc]; concurrent [record]s only
+                     touch the version chain. *)
+                  match (Atomic.get cell).base with
+                  | Some (_, v) -> batch := (loc, v) :: !batch
+                  | None -> () (* defensive: entry already gone, no base *))))
         (Atomic.get t.last_written.(j))
     done;
     if upto > t.flushed_upto then t.flushed_upto <- upto;
+    (* Deliver before unlocking: callbacks observe flush batches in commit
+       order even when rolling commits race on this mutex. *)
+    (match on_batch with
+    | Some f when !batch <> [] ->
+        f (Array.of_list (List.rev !batch))
+    | _ -> ());
     Mutex.unlock t.flush_mutex
 
   (** Prefix length already folded into the committed base. *)

@@ -249,7 +249,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
 
   (** {2 Rolling-commit flush} *)
 
-  val flush_committed : t -> upto:int -> unit
+  val flush_committed : ?on_batch:((L.t * V.t) array -> unit) -> t -> upto:int -> unit
   (** Fold the committed prefix [0, upto) into a per-location committed-base
       entry and prune those entries from the version chains, shrinking
       {!entry_count} as the prefix advances (the read fast-path falls back
@@ -261,6 +261,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       [Range] validation guarantees the fold stays in bounds. Only call with
       [upto] at most the scheduler's committed prefix. Thread-safe and
       idempotent.
+
+      [on_batch], if given, receives the [(location, committed value)] pairs
+      this call flushed (ascending transaction order; empty flushes deliver
+      nothing). It is invoked {e inside} the flush critical section, so
+      batches are observed in commit order even when rolling commits race —
+      keep it cheap (enqueue, don't process): every committing worker
+      serializes behind it.
       @raise Invalid_argument if [upto] is negative or exceeds the block
       size. *)
 

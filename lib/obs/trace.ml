@@ -27,6 +27,7 @@ let k_val = 2
 let k_val_abort = 3
 let k_idle = 4
 let k_commit = 5
+let k_cold = 6
 
 type ring = {
   cap : int;
@@ -112,6 +113,9 @@ let record (t : t) (r : ring) ~(t0_ns : int) ~(t1_ns : int)
   | Step_event.Committed { upto; count } ->
       push r ~ts ~dur ~kind:k_commit ~txn:(upto - 1) ~inc:(-1) ~a:upto
         ~b:count
+  | Step_event.Cold_fetch { version; reads } ->
+      push r ~ts ~dur ~kind:k_cold ~txn:(Version.txn_idx version)
+        ~inc:(Version.incarnation version) ~a:reads ~b:0
 
 (* --- Reading -------------------------------------------------------------- *)
 
@@ -127,6 +131,9 @@ type payload =
   | Commit of { upto : int; count : int }
       (** The rolling-commit sweep advanced the committed prefix to [upto],
           committing [count] transactions. *)
+  | Cold of { version : Version.t; reads : int }
+      (** Execution suspended on a cold storage read; the span covers the
+          fetch. *)
 
 type event = {
   worker : int;
@@ -151,6 +158,8 @@ let decode (r : ring) (worker : int) (i : int) : event =
         }
     else if r.kind.(i) = k_commit then
       Commit { upto = r.a.(i); count = r.b.(i) }
+    else if r.kind.(i) = k_cold then
+      Cold { version = version (); reads = r.a.(i) }
     else Idle { spins = r.b.(i) }
   in
   { worker; start_ns = r.ts.(i); dur_ns = r.dur.(i); payload }
@@ -188,3 +197,6 @@ let pp_event ppf (e : event) =
   | Commit { upto; count } ->
       Fmt.pf ppf "[w%d +%dns %dns] commit upto=%d count=%d" e.worker
         e.start_ns e.dur_ns upto count
+  | Cold { version; reads } ->
+      Fmt.pf ppf "[w%d +%dns %dns] cold-fetch %a r=%d" e.worker e.start_ns
+        e.dur_ns Version.pp version reads

@@ -48,6 +48,9 @@ type payload =
   | Commit of { upto : int; count : int }
       (** The rolling-commit sweep advanced the committed prefix to [upto],
           committing [count] transactions. *)
+  | Cold of { version : Version.t; reads : int }
+      (** Execution suspended on a cold storage read; the span covers the
+          fetch (cold_read_suspend mode). *)
 
 type event = {
   worker : int;

@@ -30,6 +30,9 @@ let name_of (p : Trace.payload) : string * string =
   | Trace.Idle _ -> ("idle", "idle")
   | Trace.Commit { upto; _ } ->
       (Printf.sprintf "commit upto=%d" upto, "commit")
+  | Trace.Cold { version; _ } ->
+      (Printf.sprintf "cold-fetch %s" (Version.to_string version),
+       "cold-fetch")
 
 let args_of (p : Trace.payload) : (string * Json.t) list =
   let num i = Json.Num (float_of_int i) in
@@ -58,6 +61,12 @@ let args_of (p : Trace.payload) : (string * Json.t) list =
   | Trace.Idle { spins } -> [ ("spins", num spins) ]
   | Trace.Commit { upto; count } ->
       [ ("committed_prefix", num upto); ("count", num count) ]
+  | Trace.Cold { version; reads } ->
+      [
+        ("txn", num (Version.txn_idx version));
+        ("incarnation", num (Version.incarnation version));
+        ("reads_before_fetch", num reads);
+      ]
 
 let event_json (e : Trace.event) : Json.t =
   let name, cat = name_of e.payload in

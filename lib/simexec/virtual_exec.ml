@@ -94,7 +94,7 @@ let run (type task pending) ~(num_threads : int) ~(cost : Cost_model.t)
         | Validated { aborted; _ } ->
             incr validations;
             if aborted then incr val_aborts
-        | Got_task | No_task | Committed _ -> ());
+        | Got_task | No_task | Committed _ | Cold_fetch _ -> ());
         states.(t) <- Idle task'
     | Idle (Some task) ->
         (* Start the carried task now; effects land at now + cost. *)

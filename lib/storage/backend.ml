@@ -1,0 +1,50 @@
+(** Pluggable state-backend signature (DESIGN.md §13).
+
+    The minimal surface the chain needs from a state substrate: point reads,
+    the two executor views (blocking {!Intf.storage} and non-blocking
+    {!Intf.storage_nb}), and post-commit delta application. {!Memstore} (the
+    paper's flat [Storage]) and {!Merkle} (the authenticated substrate) both
+    satisfy it; the conformance functors below enforce that at compile time
+    and package either one as a first-class backend. *)
+
+open Blockstm_kernel
+
+module type S = sig
+  type t
+  type loc
+  type value
+
+  val get : t -> loc -> value option
+  val mem : t -> loc -> bool
+  val cardinal : t -> int
+
+  val reader : t -> (loc, value) Intf.storage
+  (** Blocking read view: the start-of-block snapshot executors consume. *)
+
+  val probe : t -> (loc, value) Intf.storage_nb
+  (** Non-blocking view; resident backends always answer [Hit]. *)
+
+  val apply_delta : t -> (loc * value) list -> unit
+  (** Fold a committed block's output delta in. Between-blocks only. *)
+
+  val to_alist : t -> (loc * value) list
+  (** Deterministically ordered contents. *)
+end
+
+module Flat (L : Intf.LOCATION) (V : Intf.VALUE) :
+  S with type t = Memstore.Make(L)(V).t and type loc = L.t and type value = V.t =
+struct
+  include Memstore.Make (L) (V)
+
+  type loc = L.t
+  type value = V.t
+end
+
+module Merkleized (L : Intf.LOCATION) (V : Intf.VALUE) :
+  S with type t = Merkle.Make(L)(V).t and type loc = L.t and type value = V.t =
+struct
+  include Merkle.Make (L) (V)
+
+  type loc = L.t
+  type value = V.t
+end

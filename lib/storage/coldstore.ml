@@ -1,0 +1,82 @@
+(** Latency-injecting two-tier storage backend: a hot in-memory cache over a
+    backing store, where misses cost a configurable number of nanoseconds
+    (DESIGN.md §13).
+
+    This is the storage analogue of the workload generator's [spin] work
+    knob: it models state too large to keep resident (disk or remote reads)
+    without needing an actual disk. A {!probe} answers [Hit] from the cache
+    or returns a [Cold] fetch thunk; running the thunk busy-waits for
+    [cold_ns], reads the backing store, and installs the result in the cache
+    so the next probe of that location hits — exactly the contract the
+    engine's suspend-on-cold-read path relies on (the retried probe after
+    resumption must hit).
+
+    The cache is guarded by a single mutex. That is deliberate simplicity —
+    this backend exists to exercise the cold-read suspend machinery and
+    measure its effect, not to be a production cache. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module Tbl = Hashtbl.Make (L)
+
+  type t = {
+    backing : (L.t, V.t) Intf.storage;
+    hot : V.t option Tbl.t;  (** Completed fetches (including [None]s). *)
+    m : Mutex.t;
+    cold_ns : int;
+    fetches : int Atomic.t;
+  }
+
+  let create ?(cold_ns = 0) ~backing () : t =
+    {
+      backing;
+      hot = Tbl.create 1024;
+      m = Mutex.create ();
+      cold_ns;
+      fetches = Atomic.make 0;
+    }
+
+  (** Preload a location into the hot tier without paying the miss latency
+      (e.g. to model a partially-resident working set). *)
+  let warm (t : t) (l : L.t) : unit =
+    let v = t.backing l in
+    Mutex.lock t.m;
+    Tbl.replace t.hot l v;
+    Mutex.unlock t.m
+
+  let fetches (t : t) : int = Atomic.get t.fetches
+
+  let now_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)
+
+  let fetch (t : t) (l : L.t) () : V.t option =
+    (* Model the miss latency with a busy-wait: sub-microsecond sleeps are
+       not otherwise reachable, and the point is to occupy (or, with
+       suspend-on-cold-read, free up) a worker for this long. *)
+    if t.cold_ns > 0 then begin
+      let deadline = now_ns () + t.cold_ns in
+      while now_ns () < deadline do
+        Domain.cpu_relax ()
+      done
+    end;
+    let v = t.backing l in
+    Mutex.lock t.m;
+    Tbl.replace t.hot l v;
+    Mutex.unlock t.m;
+    Atomic.incr t.fetches;
+    v
+
+  let probe (t : t) : (L.t, V.t) Intf.storage_nb =
+   fun l ->
+    Mutex.lock t.m;
+    let cached = Tbl.find_opt t.hot l in
+    Mutex.unlock t.m;
+    match cached with
+    | Some v -> Intf.Hit v
+    | None -> Intf.Cold (fetch t l)
+
+  (** Blocking view: pays the miss latency inline. What an executor without
+      the non-blocking probe sees. *)
+  let reader (t : t) : (L.t, V.t) Intf.storage =
+   fun l -> (match probe t l with Intf.Hit v -> v | Intf.Cold f -> f ())
+end

@@ -1,0 +1,29 @@
+(** Latency-injecting two-tier storage backend (DESIGN.md §13): a hot
+    in-memory cache over a backing store, where a miss costs [cold_ns]
+    nanoseconds of busy-wait before the backing read completes and the
+    result is installed in the cache. Models larger-than-memory state to
+    exercise the engine's suspend-on-cold-read path. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
+  type t
+
+  val create : ?cold_ns:int -> backing:(L.t, V.t) Intf.storage -> unit -> t
+  (** Every location starts cold; [cold_ns] (default 0) is the simulated
+      miss latency. *)
+
+  val warm : t -> L.t -> unit
+  (** Preload one location into the hot tier with no latency. *)
+
+  val fetches : t -> int
+  (** Number of completed cold fetches so far. *)
+
+  val probe : t -> (L.t, V.t) Intf.storage_nb
+  (** [Hit] from the cache, else a [Cold] thunk that busy-waits [cold_ns],
+      reads the backing store, and caches the result — so the next probe of
+      the same location hits (the engine's resume-retry relies on this). *)
+
+  val reader : t -> (L.t, V.t) Intf.storage
+  (** Blocking view: a miss pays the latency inline. *)
+end

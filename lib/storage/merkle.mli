@@ -1,0 +1,102 @@
+(** Bucketed incremental Merkle store: the authenticated state substrate
+    (DESIGN.md §13).
+
+    A flat {!Memstore} base tier (what executors read) plus an authenticated
+    digest maintained incrementally on the side: entries hash into one of
+    [buckets] commutative per-bucket accumulators, and bucket digests fold up
+    a complete binary tree. Updating a binding dirties one bucket; {!root}
+    refreshes only dirty leaf-to-root paths, so a block's root update costs
+    O(|delta| · log buckets) instead of the flat store's O(n) whole-state
+    fold. The accumulator is commutative, so the root is a pure function of
+    the final map — sequential and Block-STM executions agree byte-for-byte.
+
+    Mutators ([set], [remove], [apply_delta], [commit_staged]) are
+    between-blocks-only, like {!Memstore}. While a block is in flight, only
+    the flusher domain may write, and only through [stage], which leaves the
+    base tier untouched (executors are still reading start-of-block state
+    from it). *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
+  type t
+
+  val default_buckets : int
+  (** 16384 — keeps the digest arrays L2-resident. *)
+
+  val create : ?buckets:int -> unit -> t
+  (** Empty store with [buckets] (rounded up to a power of two) digest
+      buckets. *)
+
+  val of_store : ?buckets:int -> Memstore.Make(L)(V).t -> t
+  (** Build from an existing flat store (e.g. a genesis {!Memstore});
+      contents are copied, the argument is not retained. *)
+
+  val get : t -> L.t -> V.t option
+  val mem : t -> L.t -> bool
+  val cardinal : t -> int
+
+  val buckets : t -> int
+  (** Number of digest buckets (power of two). *)
+
+  val set : t -> L.t -> V.t -> unit
+  val remove : t -> L.t -> unit
+
+  val apply_delta : t -> (L.t * V.t) list -> unit
+  (** Apply a block's output delta. Bindings whose value is unchanged leave
+      the accumulators untouched, so re-applying a snapshot that was already
+      staged through the flusher is idempotent. *)
+
+  val reader : t -> (L.t, V.t) Intf.storage
+  (** Read-only executor view of the base tier. Staged-but-uncommitted writes
+      are {e not} visible: during a block, storage must stay the
+      start-of-block snapshot. *)
+
+  val probe : t -> (L.t, V.t) Intf.storage_nb
+  (** Always [Hit] — the base tier is resident in memory. *)
+
+  val base : t -> Memstore.Make(L)(V).t
+  (** The flat base tier itself (for chain-level state accessors). Mutating
+      it directly desynchronizes the digest; treat as read-only. *)
+
+  val to_alist : t -> (L.t * V.t) list
+
+  val root : t -> int64
+  (** Authenticated root. Refreshes dirty paths (O(dirty · log buckets)),
+      then returns the cached tree root. Reflects staged writes. *)
+
+  val recompute_root : t -> int64
+  (** From-scratch O(n) rebuild over the base tier, ignoring all incremental
+      state — the correctness yardstick for {!root} and the cost yardstick
+      for the state-scale experiment. Only meaningful with no writes
+      staged. *)
+
+  (** {2 Staging (committed-prefix flush target)} *)
+
+  val stage : t -> L.t -> V.t option -> unit
+  (** Fold a committed write ([None] = delete) into the digest tiers and a
+      side table, leaving the base tier untouched. Single-writer: only the
+      flusher domain (or the lone main domain) may call this. *)
+
+  val staged_count : t -> int
+
+  val commit_staged : t -> unit
+  (** Move staged bindings into the base tier. Call after the block is done
+      (flusher stopped). No digest change — staging already accounted it. *)
+
+  (** {2 Async flusher} *)
+
+  type flusher
+
+  val start_flusher : t -> flusher
+  (** Spawn a domain that [stage]s pushed batches in arrival order. *)
+
+  val flusher_push : flusher -> (L.t * V.t) array -> unit
+  (** Enqueue a committed batch. Thread-safe and cheap (enqueue + signal):
+      safe to call from the engine's [on_flush] callback, which runs inside
+      MVMemory's flush critical section. *)
+
+  val stop_flusher : flusher -> unit
+  (** Drain the queue and join the domain. Staged writes remain pending —
+      follow with {!commit_staged}. *)
+end

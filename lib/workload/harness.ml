@@ -7,6 +7,7 @@ open Ledger
 
 module Bstm = Blockstm_core.Block_stm.Make (Loc) (Value)
 module ChainX = Blockstm_chain.Chain.Make (Loc) (Value)
+module ColdX = Blockstm_storage.Coldstore.Make (Loc) (Value)
 module Seq = Blockstm_baselines.Sequential.Make (Loc) (Value)
 module BohmX = Blockstm_baselines.Bohm.Make (Loc) (Value)
 module LitmX = Blockstm_baselines.Litm.Make (Loc) (Value)
@@ -37,6 +38,20 @@ let run_blockstm ?(config = Bstm.default_config) ?declared_writes ?trace
     ?on_commit ~storage txns =
   Bstm.run ~config ?declared_writes ?trace ?on_commit
     ~storage:(Store.reader storage) txns
+
+(** Run Block-STM over cold two-tier storage: every location starts cold and
+    a miss costs [cold_ns] of simulated latency. Returns the result plus the
+    cold store (for {!ColdX.fetches}). With [config.cold_read_suspend] the
+    engine parks the transaction during each fetch; otherwise the latency is
+    paid inline on the executing worker. *)
+let run_blockstm_cold ?(config = Bstm.default_config) ?declared_writes ?trace
+    ~cold_ns ~storage txns =
+  let cold = ColdX.create ~cold_ns ~backing:(Store.reader storage) () in
+  let r =
+    Bstm.run ~config ?declared_writes ?trace ~probe:(ColdX.probe cold)
+      ~storage:(ColdX.reader cold) txns
+  in
+  (r, cold)
 
 let run_sequential ~storage txns =
   Seq.run ~storage:(Store.reader storage) txns

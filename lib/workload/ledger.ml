@@ -44,10 +44,19 @@ module Loc = struct
     | Account a, Account b -> a.acct = b.acct && a.field = b.field
     | _ -> false
 
+  (* Full avalanche mix, not just a multiply: a multiplicative hash of
+     [(acct * 8) + field] leaves the low bits stuck in a stride-8 subgroup
+     when only one field is populated (e.g. {!Bigstate.lean_genesis}), so
+     Hashtbl and digest buckets — both selected by low bits — degrade to
+     1/8 occupancy with 8x-long chains. *)
+  let mix_int x =
+    let x = (x lxor (x lsr 16)) * 0x45d9f3b in
+    let x = (x lxor (x lsr 16)) * 0x45d9f3b in
+    x lxor (x lsr 16)
+
   let hash = function
-    | Global g -> (g * 0x9E3779B1) lxor 0x55
-    | Account { acct; field } ->
-        ((acct * 8) + field_index field) * 0x9E3779B1
+    | Global g -> mix_int (g lxor 0x55aa55)
+    | Account { acct; field } -> mix_int ((acct * 8) + field_index field)
 
   let compare a b =
     match (a, b) with
@@ -79,6 +88,19 @@ module Value = struct
     | Bool x, Bool y -> Bool.equal x y
     | Bytes x, Bytes y -> String.equal x y
     | _ -> false
+
+  (* Structural hash (Intf.VALUE): every byte of a [Bytes] payload folds in
+     via FNV-1a, unlike the width-limited generic hash. Constructor tags are
+     mixed so [Int 0] / [Bool false] / [Bytes ""] stay distinct. *)
+  let fnv_bytes (s : string) : int =
+    let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+    !h land max_int
+
+  let hash = function
+    | Int i -> (i * 0x9E3779B1) lxor 0x01
+    | Bool b -> if b then 0x3_5A5A else 0x2_A5A5
+    | Bytes s -> fnv_bytes s lxor 0x03
 
   let pp ppf = function
     | Int i -> Fmt.int ppf i

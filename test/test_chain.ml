@@ -146,6 +146,57 @@ let test_empty_block_keeps_root () =
   Alcotest.(check bool) "empty block preserves root" true
     (Int64.equal r1 r2)
 
+(* Bounded history retention: only the newest [retain_outputs] commits keep
+   their outputs arrays; older commits keep roots and metrics but are pruned
+   to empty outputs and marked [outputs_retained = false]. *)
+let test_bounded_retention () =
+  let chain =
+    Chain.create ~retain_outputs:2 ~executor:Chain.Sequential
+      ~genesis:(genesis ()) ()
+  in
+  for seed = 1 to 5 do
+    ignore (Chain.execute_block chain (block_of_seed seed))
+  done;
+  let commits = Chain.commits chain in
+  Alcotest.(check int) "all commits kept" 5 (List.length commits);
+  List.iter
+    (fun (c : _ Chain.block_commit) ->
+      let recent = c.height > 3 in
+      Alcotest.(check bool)
+        (Fmt.str "height %d outputs_retained" c.height)
+        recent c.outputs_retained;
+      Alcotest.(check int)
+        (Fmt.str "height %d outputs length" c.height)
+        (if recent then 50 else 0)
+        (Array.length c.outputs))
+    commits;
+  (* Roots survive pruning: an unbounded replica agrees at every height. *)
+  let full = run_chain Chain.Sequential 5 in
+  Alcotest.(check (option int)) "pruned replica roots intact" None
+    (Chain.first_divergence full chain)
+
+let test_retention_window_zero () =
+  let chain =
+    Chain.create ~retain_outputs:0 ~executor:Chain.Sequential
+      ~genesis:(genesis ()) ()
+  in
+  for seed = 1 to 3 do
+    ignore (Chain.execute_block chain (block_of_seed seed))
+  done;
+  List.iter
+    (fun (c : _ Chain.block_commit) ->
+      Alcotest.(check bool)
+        (Fmt.str "height %d pruned" c.height)
+        false c.outputs_retained)
+    (Chain.commits chain);
+  Alcotest.(check bool) "negative window rejected" true
+    (try
+       ignore
+         (Chain.create ~retain_outputs:(-1) ~executor:Chain.Sequential
+            ~genesis:(genesis ()) ());
+       false
+     with Invalid_argument _ -> true)
+
 let test_metrics_presence () =
   let seq = run_chain Chain.Sequential 1 in
   let par = run_chain (Chain.Block_stm Chain.Bstm.default_config) 1 in
@@ -172,6 +223,10 @@ let suite =
       test_state_root_changes_per_block;
     Alcotest.test_case "empty block preserves root" `Quick
       test_empty_block_keeps_root;
+    Alcotest.test_case "bounded retention prunes old outputs" `Quick
+      test_bounded_retention;
+    Alcotest.test_case "retention window zero" `Quick
+      test_retention_window_zero;
     Alcotest.test_case "metrics presence per executor" `Quick
       test_metrics_presence;
   ]

@@ -17,6 +17,8 @@ let () =
       ("stress", Test_stress.suite);
       ("scaling_stress", Test_scaling_stress.suite);
       ("chain", Test_chain.suite);
+      ("merkle", Test_merkle.suite);
+      ("coldread", Test_coldread.suite);
       ("delta", Test_delta.suite);
       ("properties", Test_props.suite);
       ("vm_diff", Test_vm_diff.suite);

@@ -174,4 +174,31 @@ if [ "$hdelta" -lt $((2 * hpaper)) ]; then
 fi
 echo "ci: hotspot-delta gate passed (deltas $hdelta tps >= 2x paper $hpaper tps)"
 
+# --- State-scale smoke ------------------------------------------------------
+# The incremental Merkle substrate (DESIGN.md §13) exists to make per-block
+# authenticated roots O(|delta| log buckets) instead of the flat store's
+# O(n) fold: at 10^5 accounts the incremental update must be >= 5x cheaper
+# (measured 5.5-7x; the experiment takes per-side best-of-3 minima, so the
+# ratio is stable under load). The roots column also asserts correctness at
+# every grid point: sequential root = Block-STM root = from-scratch
+# recompute; any mismatch is a hard failure regardless of speed.
+out=$(dune exec bench/main.exe -- state-scale)
+printf '%s\n' "$out"
+if printf '%s\n' "$out" | awk 'NF>=6 && $1 ~ /^[0-9]+$/ && $6!="ok" {exit 1}'
+then :; else
+  echo "ci: FAIL — state-scale reported a root mismatch (see the roots column)"
+  exit 1
+fi
+sspeed=$(printf '%s\n' "$out" \
+  | awk '$1=="100000" {sub(/x$/,"",$5); print $5}')
+if [ -z "$sspeed" ]; then
+  echo "ci: FAIL — state-scale did not report the 100000-account row"
+  exit 1
+fi
+if ! awk "BEGIN{exit !($sspeed >= 5.0)}"; then
+  echo "ci: FAIL — incremental Merkle root only ${sspeed}x the whole-state fold at 10^5 accounts (need >= 5x)"
+  exit 1
+fi
+echo "ci: state-scale gate passed (incremental ${sspeed}x >= 5x fold at 10^5 accounts, roots ok)"
+
 echo "ci: all checks passed"
