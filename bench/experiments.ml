@@ -1101,6 +1101,291 @@ let state_scale mode =
     accounts_grid;
   Report.emit_table t
 
+(* --- Sustained throughput: continuous block pipeline (DESIGN.md §14) -------- *)
+
+(* Knobs for the [sustained] experiment, settable from the CLI
+   (bench --mempool-rate/--block-size/--block-deadline-ms/--speculate,
+   blockstm exp likewise). Zero/false means "use the mode default". *)
+let sustained_rate = ref 0. (* Poisson arrivals/s; 0 = 60% of measured tps *)
+let sustained_block_size = ref 0 (* target txns per block cut *)
+let sustained_deadline_ms = ref 25. (* block cut deadline *)
+let sustained_speculative_only = ref false (* skip baseline modes *)
+
+let set_sustained_rate r = if r > 0. then sustained_rate := r
+let set_sustained_block_size b = if b > 0 then sustained_block_size := b
+let set_sustained_deadline_ms d = if d > 0. then sustained_deadline_ms := d
+let set_sustained_speculative_only b = sustained_speculative_only := b
+
+(* A transfer with no cross-transaction assertions: deterministic for any
+   serialization, so the Poisson phase can cut blocks at arbitrary
+   boundaries (a deadline cut does not care which sender lands where). The
+   throughput phase uses the real p2p scripts, whose sequence numbers the
+   pipeline must — and does — preserve. *)
+let free_transfer ~work ~sender ~recipient ~amount :
+    (Ledger.Loc.t, Ledger.Value.t, int) Blockstm_kernel.Txn.t =
+ fun e ->
+  let open Ledger in
+  let cfg = ref 0 in
+  for g = 0 to 5 do
+    cfg := !cfg + read_int e (global g)
+  done;
+  let s_bal = read_int e (balance sender) in
+  let r_bal = read_int e (balance recipient) in
+  P2p.spin work;
+  let amt = min amount s_bal in
+  e.write (balance sender) (Value.Int (s_bal - amt));
+  e.write (balance recipient) (Value.Int (r_bal + amt));
+  amt
+
+let sustained mode =
+  let module C = Harness.ChainX in
+  let module Mp = Blockstm_chain.Mempool in
+  let block =
+    if !sustained_block_size > 0 then !sustained_block_size
+    else match mode with Quick -> 500 | Full -> 2_000
+  in
+  let nblocks = match mode with Quick -> 6 | Full -> 12 in
+  let work = 50_000 in
+  let accounts = 10_000 in
+  let spec =
+    { (p2p_spec ~flavor:P2p.Standard ~accounts ~block ~seed:42) with work }
+  in
+  let ws = P2p.generate_stream spec ~nblocks in
+  let blocks = List.map (fun w -> w.P2p.txns) ws in
+  let genesis = (List.hd ws).P2p.storage in
+  let total = nblocks * block in
+  let time f = Blockstm_stats.Clock.time_ns f in
+  (* Phase B — steady-state committed throughput over a deterministic block
+     stream, with bit-identity against the per-block sequential reference
+     at every grid point (per substrate: the Merkle root algorithm differs
+     from the flat fold by design). *)
+  let reference store =
+    let c = C.create ~store ~executor:C.Sequential ~genesis () in
+    List.iter (fun b -> ignore (C.execute_block c b)) blocks;
+    c
+  in
+  let ref_flat = reference `Flat and ref_merkle = reference `Merkle in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Sustained pipeline: committed throughput over %d-block streams \
+            (standard p2p, %d accounts, block %d, wall clock)"
+           nblocks accounts block)
+      ~header:
+        [
+          "store";
+          "mode";
+          "domains";
+          "tps";
+          "vs per-block";
+          "idle ms";
+          "spec-aborts";
+          "roots";
+        ]
+  in
+  let modes =
+    if !sustained_speculative_only then [ ("speculative", `Speculative) ]
+    else
+      [
+        ("per-block", `Per_block);
+        ("pipelined", `Pipelined);
+        ("speculative", `Speculative);
+      ]
+  in
+  let tps_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (sname, store) ->
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun (mname, m) ->
+              let executor =
+                C.Block_stm
+                  {
+                    Harness.Bstm.default_config with
+                    num_domains = domains;
+                    rolling_commit = true;
+                  }
+              in
+              let chain =
+                C.create ~store
+                  ~async_flush:(store = `Merkle)
+                  ~executor ~genesis ()
+              in
+              let rem = ref blocks in
+              let next () =
+                match !rem with
+                | [] -> None
+                | b :: r ->
+                    rem := r;
+                    Some b
+              in
+              let (_, stats), ns =
+                time (fun () -> C.execute_stream ~mode:m chain ~next)
+              in
+              let tps = Blockstm_stats.Clock.tps ~txns:total ~elapsed_ns:ns in
+              Hashtbl.replace tps_tbl (sname, mname, domains) tps;
+              let refc =
+                match store with `Flat -> ref_flat | `Merkle -> ref_merkle
+              in
+              let ok = C.first_divergence refc chain = None in
+              Report.sample
+                ~label:
+                  (Printf.sprintf "sustained/%s/%s/domains=%d" sname mname
+                     domains)
+                tps;
+              Report.sample
+                ~label:
+                  (Printf.sprintf "sustained/roots_equal/%s/%s/domains=%d"
+                     sname mname domains)
+                (if ok then 1. else 0.);
+              T.add_row t
+                [
+                  sname;
+                  mname;
+                  string_of_int domains;
+                  fmt_tps tps;
+                  (match
+                     Hashtbl.find_opt tps_tbl (sname, "per-block", domains)
+                   with
+                  | Some b when mname <> "per-block" -> fmt_x (tps /. b)
+                  | _ -> "-");
+                  Printf.sprintf "%.1f" (float_of_int stats.C.s_idle_ns /. 1e6);
+                  string_of_int stats.C.s_spec_aborts;
+                  (if ok then "ok" else "MISMATCH");
+                ])
+            modes)
+        !domains_grid)
+    [ ("flat", `Flat); ("merkle", `Merkle) ];
+  Report.emit_table t;
+  (* Phase A — commit latency under Poisson ingestion: a producer domain
+     submits boundary-insensitive transfers through the bounded mempool at
+     rate lambda; the driver cuts blocks at [block] txns or the deadline and
+     commits continuously. Latency = block-commit wall time - submission. *)
+  let domains = List.fold_left max 1 !domains_grid in
+  let rate =
+    if !sustained_rate > 0. then !sustained_rate
+    else
+      let measured =
+        match Hashtbl.find_opt tps_tbl ("flat", "per-block", domains) with
+        | Some tps -> Some tps
+        | None -> Hashtbl.find_opt tps_tbl ("flat", "speculative", domains)
+      in
+      0.6 *. Option.value ~default:5_000. measured
+  in
+  let deadline_ns = int_of_float (!sustained_deadline_ms *. 1e6) in
+  let lat_nblocks = match mode with Quick -> 4 | Full -> 8 in
+  let lat_total = lat_nblocks * block in
+  let lat_txns =
+    let rng = Rng.create 7 in
+    Array.init lat_total (fun _ ->
+        let s, r = Rng.distinct_pair rng accounts in
+        free_transfer ~work ~sender:s ~recipient:r
+          ~amount:(1 + Rng.int rng 100))
+  in
+  let lt =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Sustained pipeline: commit latency under Poisson ingestion \
+            (rate %.0f tps, block %d or %.0f ms, %d domains, flat store)"
+           rate block !sustained_deadline_ms domains)
+      ~header:
+        [
+          "mode";
+          "tps";
+          "p50 ms";
+          "p95 ms";
+          "p99 ms";
+          "blocks";
+          "depth p95";
+          "idle ms";
+        ]
+  in
+  List.iter
+    (fun (mname, m) ->
+      let mp = Mp.create ~capacity:(4 * block) () in
+      let interval_ns = 1e9 /. rate in
+      let producer =
+        Domain.spawn (fun () ->
+            (* Deterministic Poisson process: exponential inter-arrivals
+               from the seeded RNG, busy-waiting to each arrival time. *)
+            let prng = Rng.create 99 in
+            let due = ref (float_of_int (Blockstm_obs.Trace.now_ns ())) in
+            Array.iter
+              (fun txn ->
+                let u =
+                  float_of_int (1 + Rng.int prng 1_000_000) /. 1_000_001.
+                in
+                due := !due -. (Float.log u *. interval_ns);
+                while
+                  float_of_int (Blockstm_obs.Trace.now_ns ()) < !due
+                do
+                  Domain.cpu_relax ()
+                done;
+                ignore (Mp.submit mp (Blockstm_obs.Trace.now_ns (), txn)))
+              lat_txns;
+            Mp.close mp)
+      in
+      let executor =
+        C.Block_stm
+          {
+            Harness.Bstm.default_config with
+            num_domains = domains;
+            rolling_commit = true;
+          }
+      in
+      let chain = C.create ~executor ~genesis () in
+      (* Submission stamps of each cut block, FIFO: commits arrive in cut
+         order, so [on_block] pops the matching stamps. *)
+      let submit_q : int array Queue.t = Queue.create () in
+      let lats = ref [] in
+      let next () =
+        match Mp.next_block mp ~max_txns:block ~deadline_ns with
+        | [||] -> None
+        | b ->
+            Queue.push (Array.map fst b) submit_q;
+            Some (Array.map snd b)
+      in
+      let on_block (_ : _ C.block_commit) =
+        let now = Blockstm_obs.Trace.now_ns () in
+        Array.iter
+          (fun s -> lats := (float_of_int (now - s) /. 1e6) :: !lats)
+          (Queue.pop submit_q)
+      in
+      let (_, stats), ns =
+        time (fun () ->
+            C.execute_stream ~mode:m ~on_block
+              ~queue_depth:(fun () -> Mp.depth mp)
+              chain ~next)
+      in
+      Domain.join producer;
+      let s = D.summarize (Array.of_list !lats) in
+      let label p = Printf.sprintf "sustained/latency/%s/%s_ms" mname p in
+      Report.sample ~label:(label "p50") s.D.median;
+      Report.sample ~label:(label "p95") s.D.p95;
+      Report.sample ~label:(label "p99") s.D.p99;
+      let depth_p95 =
+        Blockstm_obs.Metrics.quantile
+          (Blockstm_obs.Metrics.histogram stats.C.s_registry "mempool_depth")
+          0.95
+      in
+      let ms v = Printf.sprintf "%.1f" v in
+      T.add_row lt
+        [
+          mname;
+          fmt_tps (Blockstm_stats.Clock.tps ~txns:lat_total ~elapsed_ns:ns);
+          ms s.D.median;
+          ms s.D.p95;
+          ms s.D.p99;
+          string_of_int stats.C.s_blocks;
+          Printf.sprintf "%.0f" depth_p95;
+          Printf.sprintf "%.1f" (float_of_int stats.C.s_idle_ns /. 1e6);
+        ])
+    modes;
+  Report.emit_table lt
+
 (* --- Registry ---------------------------------------------------------------- *)
 
 let all : (string * string * (mode -> unit)) list =
@@ -1121,4 +1406,5 @@ let all : (string * string * (mode -> unit)) list =
     ("state-scale", "State scale: incremental Merkle roots vs whole-state fold (§13)", state_scale);
     ("minimove", "MiniMove interpreter end-to-end", minimove);
     ("vm-cost", "VM cost: tree-walk vs compiled MiniMove VM (§11)", vm_cost);
+    ("sustained", "Sustained: continuous block pipeline (§14)", sustained);
   ]

@@ -9,6 +9,9 @@
                                               # also write a JSON report
      dune exec bench/main.exe -- scaling --domains 1,2,4,8
                                               # sweep real domain counts
+     dune exec bench/main.exe -- sustained --mempool-rate 5000 \
+         --block-size 1000 --block-deadline-ms 50 --speculate
+                                              # continuous-pipeline knobs
 
    See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
    paper-vs-measured results. *)
@@ -32,6 +35,13 @@ let parse_domains s =
         s;
       exit 2
 
+let num_arg flag s =
+  match float_of_string_opt s with
+  | Some v when v > 0. -> v
+  | _ ->
+      Printf.eprintf "%s expects a positive number, got %S\n" flag s;
+      exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_path = ref None in
@@ -48,6 +58,23 @@ let () =
         exit 2
     | "--domains" :: spec :: rest ->
         Blockstm_bench.Experiments.set_domains_grid (parse_domains spec);
+        strip_json rest
+    | [ "--mempool-rate" ] | [ "--block-size" ] | [ "--block-deadline-ms" ] ->
+        prerr_endline "missing argument for sustained-pipeline flag";
+        exit 2
+    | "--mempool-rate" :: v :: rest ->
+        Blockstm_bench.Experiments.set_sustained_rate (num_arg "--mempool-rate" v);
+        strip_json rest
+    | "--block-size" :: v :: rest ->
+        Blockstm_bench.Experiments.set_sustained_block_size
+          (int_of_float (num_arg "--block-size" v));
+        strip_json rest
+    | "--block-deadline-ms" :: v :: rest ->
+        Blockstm_bench.Experiments.set_sustained_deadline_ms
+          (num_arg "--block-deadline-ms" v);
+        strip_json rest
+    | "--speculate" :: rest ->
+        Blockstm_bench.Experiments.set_sustained_speculative_only true;
         strip_json rest
     | a :: rest -> a :: strip_json rest
   in

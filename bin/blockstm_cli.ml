@@ -506,7 +506,7 @@ let exp_cmd =
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
                 gas-sharding, real, scaling, commit-latency, \
                 validation-cost, hotspot-delta, state-scale, minimove, \
-                vm-cost, micro). Repeatable; default: all.")
+                vm-cost, sustained, micro). Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
@@ -527,12 +527,54 @@ let exp_cmd =
             "Real domain counts swept by the $(b,scaling) experiment \
              (default 1,2,4).")
   in
-  let action ids full json domains =
+  let mempool_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mempool-rate" ] ~docv:"TPS"
+          ~doc:
+            "Poisson arrival rate for the $(b,sustained) experiment's \
+             latency phase (default: 60% of the measured throughput).")
+  in
+  let block_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block-size" ] ~docv:"N"
+          ~doc:
+            "Target transactions per block cut in the $(b,sustained) \
+             experiment (default: grid-dependent).")
+  in
+  let block_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "block-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Block-cut deadline for the $(b,sustained) experiment's \
+             mempool builder (default 25).")
+  in
+  let speculate =
+    Arg.(
+      value & flag
+      & info [ "speculate" ]
+          ~doc:
+            "Restrict the $(b,sustained) experiment to the speculative \
+             pipeline mode (skip the baselines).")
+  in
+  let action ids full json domains mempool_rate block_size block_deadline
+      speculate =
     (match domains with
     | Some l when List.for_all (fun d -> d >= 1) l ->
         Blockstm_bench.Experiments.set_domains_grid l
     | Some _ -> Fmt.epr "--domains entries must be >= 1; ignoring@."
     | None -> ());
+    Option.iter Blockstm_bench.Experiments.set_sustained_rate mempool_rate;
+    Option.iter Blockstm_bench.Experiments.set_sustained_block_size block_size;
+    Option.iter Blockstm_bench.Experiments.set_sustained_deadline_ms
+      block_deadline;
+    if speculate then
+      Blockstm_bench.Experiments.set_sustained_speculative_only true;
     let mode =
       if full then Blockstm_bench.Experiments.Full
       else Blockstm_bench.Experiments.Quick
@@ -550,7 +592,11 @@ let exp_cmd =
     if want "micro" && ids <> [] then Blockstm_bench.Micro.run ();
     Option.iter Blockstm_bench.Report.write json
   in
-  let term = Term.(const action $ ids $ full $ json $ domains) in
+  let term =
+    Term.(
+      const action $ ids $ full $ json $ domains $ mempool_rate $ block_size
+      $ block_deadline $ speculate)
+  in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's figures and tables")
     term

@@ -27,6 +27,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   module Seq = Blockstm_baselines.Sequential.Make (L) (V)
   module Store = Blockstm_storage.Memstore.Make (L) (V)
   module Mstore = Blockstm_storage.Merkle.Make (L) (V)
+  module Overlay = Overlay.Make (L) (V)
+  module Metrics = Blockstm_obs.Metrics
+  module Trace = Blockstm_obs.Trace
 
   (** How blocks are executed. *)
   type executor =
@@ -228,86 +231,509 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     prune_history t;
     commit
 
-  (* A block whose transactions have executed and whose delta is folded into
-     the chain state, but whose state-root digest is still being computed in
-     a background domain (over a frozen copy of the post-state). *)
-  type 'o pending_commit = {
-    p_height : int;
-    p_txn_count : int;
-    p_outputs : 'o Txn.output array;
-    p_delta_root : int64;
-    p_metrics : Bstm.metrics option;
-    p_root : int64 Domain.t;
+  (* ---------------------------------------------------------------------- *)
+  (* Digest worker: one long-lived background domain for state maintenance  *)
+  (* ---------------------------------------------------------------------- *)
+
+  (* FIFO queue of jobs (closures) executed by a single persistent domain —
+     the chain-level mirror of the Merkle store's flusher. The pipelined and
+     speculative drivers push every piece of off-critical-path state work
+     here (flat-store delta application and whole-state digests, Merkle
+     staging / commit_staged / root refreshes) instead of paying a fresh
+     [Domain.spawn] per block. Single-threaded by construction: jobs that
+     touch the same digest state are serialized by queue order, so the
+     drivers reason about ordering, never about data races. *)
+  module Dworker = struct
+    type t = {
+      q : (unit -> unit) Queue.t;
+      m : Mutex.t;
+      cv : Condition.t;  (** Signaled on push, stop, and job completion. *)
+      mutable stopping : bool;
+      mutable busy : bool;
+      mutable dom : unit Domain.t option;
+    }
+
+    let create () : t =
+      let t =
+        {
+          q = Queue.create ();
+          m = Mutex.create ();
+          cv = Condition.create ();
+          stopping = false;
+          busy = false;
+          dom = None;
+        }
+      in
+      let rec loop () =
+        Mutex.lock t.m;
+        while Queue.is_empty t.q && not t.stopping do
+          Condition.wait t.cv t.m
+        done;
+        if Queue.is_empty t.q then Mutex.unlock t.m (* stopping, drained *)
+        else begin
+          let job = Queue.pop t.q in
+          t.busy <- true;
+          Mutex.unlock t.m;
+          job ();
+          Mutex.lock t.m;
+          t.busy <- false;
+          Condition.broadcast t.cv;
+          Mutex.unlock t.m;
+          loop ()
+        end
+      in
+      t.dom <- Some (Domain.spawn loop);
+      t
+
+    let push (t : t) (job : unit -> unit) : unit =
+      Mutex.lock t.m;
+      Queue.push job t.q;
+      Condition.signal t.cv;
+      Mutex.unlock t.m
+
+    (* Block until every job pushed so far has completed. *)
+    let drain (t : t) : unit =
+      Mutex.lock t.m;
+      while t.busy || not (Queue.is_empty t.q) do
+        Condition.wait t.cv t.m
+      done;
+      Mutex.unlock t.m
+
+    (* Drain remaining jobs, then join the domain. *)
+    let stop (t : t) : unit =
+      Mutex.lock t.m;
+      t.stopping <- true;
+      Condition.signal t.cv;
+      Mutex.unlock t.m;
+      (match t.dom with Some d -> Domain.join d | None -> ());
+      t.dom <- None
+  end
+
+  (* Single-assignment root cell, fulfilled by a digest-worker job. *)
+  type root_promise = {
+    pm : Mutex.t;
+    pc : Condition.t;
+    mutable pv : int64 option;
   }
+
+  let promise () = { pm = Mutex.create (); pc = Condition.create (); pv = None }
+
+  let fulfill p v =
+    Mutex.lock p.pm;
+    p.pv <- Some v;
+    Condition.broadcast p.pc;
+    Mutex.unlock p.pm
+
+  let await p =
+    Mutex.lock p.pm;
+    while p.pv = None do
+      Condition.wait p.pc p.pm
+    done;
+    let v = match p.pv with Some v -> v | None -> assert false in
+    Mutex.unlock p.pm;
+    v
+
+  (* A block whose transactions have executed and whose delta is (being)
+     folded into the chain state, but whose state root is still cooking on
+     the digest worker. *)
+  type 'o spending = {
+    sp_height : int;
+    sp_txn_count : int;
+    sp_outputs : 'o Txn.output array;
+    sp_delta_root : int64;
+    sp_metrics : Bstm.metrics option;
+    sp_root : root_promise;
+  }
+
+  (* ---------------------------------------------------------------------- *)
+  (* Continuous block pipeline (DESIGN.md §14)                              *)
+  (* ---------------------------------------------------------------------- *)
+
+  (** How {!execute_stream} overlaps consecutive blocks. *)
+  type stream_mode =
+    [ `Per_block  (** No overlap: {!execute_block} per block (baseline). *)
+    | `Pipelined
+      (** Block [h]'s state-root finalization (flat: the whole-state fold;
+          Merkle: the digest-tree refresh) runs on the digest worker while
+          block [h+1] executes. Commits are identical to [`Per_block]. *)
+    | `Speculative
+      (** Block [h+1] {e executes} speculatively against block [h]'s
+          streaming committed prefix (cross-block speculation, requires a
+          rolling-commit Block-STM executor). Commits are identical to
+          [`Per_block]. *) ]
+
+  (** Aggregate statistics of one {!execute_stream} run. *)
+  type stream_stats = {
+    s_blocks : int;
+    s_txns : int;
+    s_idle_ns : int;
+        (** Wall time the driver spent inside [next] waiting for block
+            material (mempool deadline waits, generator time). Also the
+            registry counter ["inter_block_idle_ns"]. *)
+    s_spec_aborts : int;
+        (** [`Speculative] only: validation aborts that happened {e after} a
+            block's base was sealed — executions whose speculative reads did
+            not survive the final revalidation against the sealed
+            predecessor state. Also the counter ["speculation_aborts"]. *)
+    s_registry : Metrics.t;
+        (** Live registry: the two counters above plus the
+            ["mempool_depth"] histogram (one observation per block cut,
+            when [queue_depth] is wired). *)
+  }
+
+  (** Execute a stream of blocks — [next ()] yields the next block's
+      transactions, [None] ends the stream — overlapping consecutive blocks
+      according to [mode]. Returns this stream's commits (oldest first) and
+      its {!stream_stats}; commits also land on the chain exactly as
+      {!execute_block}'s do. [on_block] streams each commit as it
+      finalizes. [queue_depth] (typically {!Mempool.depth} partially
+      applied) is sampled once per block cut into the ["mempool_depth"]
+      histogram.
+
+      Every mode produces identical commits (heights, roots, outputs) —
+      byte-for-byte what a [`Per_block] run over the same blocks yields;
+      the test suite checks this across executors and substrates.
+
+      [`Speculative] notes: requires [Block_stm] with [rolling_commit]; the
+      executor's [num_domains] is the stream's total worker budget (one
+      domain speculates on the next block while the rest finish the current
+      one — with [num_domains = 1] speculation degenerates to per-block
+      timing). *)
+  let execute_stream ?(mode : stream_mode = `Per_block) ?on_block ?queue_depth
+      (t : 'o t) ~(next : unit -> (L.t, V.t, 'o) Txn.t array option) :
+      'o block_commit list * stream_stats =
+    let reg = Metrics.create ~max_domains:1 () in
+    let c_idle = Metrics.counter reg "inter_block_idle_ns" in
+    let c_spec_aborts = Metrics.counter reg "speculation_aborts" in
+    let h_depth = Metrics.histogram reg "mempool_depth" in
+    let idle_ns = ref 0 and spec_aborts = ref 0 in
+    let blocks = ref 0 and ntxns = ref 0 in
+    let commits = ref [] in
+    (* Record a finalized commit of this stream (the chain list was already
+       updated by whoever built the commit). *)
+    let emit (c : 'o block_commit) =
+      incr blocks;
+      ntxns := !ntxns + c.txn_count;
+      commits := c :: !commits;
+      match on_block with Some f -> f c | None -> ()
+    in
+    let fetch () =
+      let t0 = Trace.now_ns () in
+      let b = next () in
+      idle_ns := !idle_ns + (Trace.now_ns () - t0);
+      (match (b, queue_depth) with
+      | Some _, Some d -> Metrics.observe h_depth (d ())
+      | _ -> ());
+      b
+    in
+    let finish_stream () =
+      Metrics.add c_idle !idle_ns;
+      Metrics.add c_spec_aborts !spec_aborts;
+      ( List.rev !commits,
+        {
+          s_blocks = !blocks;
+          s_txns = !ntxns;
+          s_idle_ns = !idle_ns;
+          s_spec_aborts = !spec_aborts;
+          s_registry = reg;
+        } )
+    in
+    (* Deferred-root commit plumbing shared by `Pipelined and `Speculative:
+       resolve the previous block's pending commit (awaiting its root, which
+       overlapped the block just executed) and fold it into the chain. *)
+    let pending : 'o spending option ref = ref None in
+    let resolve () =
+      match !pending with
+      | None -> ()
+      | Some sp ->
+          pending := None;
+          let c =
+            {
+              height = sp.sp_height;
+              txn_count = sp.sp_txn_count;
+              outputs = sp.sp_outputs;
+              outputs_retained = true;
+              state_root = await sp.sp_root;
+              delta_root = sp.sp_delta_root;
+              metrics = sp.sp_metrics;
+            }
+          in
+          t.commits <- c :: t.commits;
+          prune_history t;
+          emit c
+    in
+    let hash_loc = t.hash_loc and hash_value = t.hash_value in
+    match mode with
+    | `Per_block ->
+        let rec go () =
+          match fetch () with
+          | None -> finish_stream ()
+          | Some txns ->
+              emit (execute_block t txns);
+              go ()
+        in
+        go ()
+    | `Pipelined -> (
+        let dw = Dworker.create () in
+        match t.state with
+        | S_flat flat ->
+            (* The digest worker folds the live store while the next block
+               executes — both are pure readers; the driver mutates the
+               store only after [resolve] proved the fold finished. *)
+            let rec go () =
+              match fetch () with
+              | None ->
+                  resolve ();
+                  Dworker.stop dw;
+                  finish_stream ()
+              | Some txns ->
+                  let snapshot, outputs, metrics = run_executor t txns in
+                  resolve ();
+                  Store.apply_delta flat snapshot;
+                  t.height <- t.height + 1;
+                  let p = promise () in
+                  Dworker.push dw (fun () ->
+                      fulfill p
+                        (digest ~hash_loc ~hash_value (Store.to_alist flat)));
+                  pending :=
+                    Some
+                      {
+                        sp_height = t.height;
+                        sp_txn_count = Array.length txns;
+                        sp_outputs = outputs;
+                        sp_delta_root = digest ~hash_loc ~hash_value snapshot;
+                        sp_metrics = metrics;
+                        sp_root = p;
+                      };
+                  go ()
+            in
+            go ()
+        | S_merkle m ->
+            (* The overlappable Merkle work is the digest-tree refresh (and,
+               with [async_flush], the accumulator staging, which streams to
+               the worker during execution). [commit_staged] is NOT
+               overlappable — the next block's workers read the base tier —
+               so it stays on the critical path; it is table moves only, no
+               hashing. FIFO keeps root(h) and block h+1's staging jobs
+               race-free on the single worker. *)
+            let rec go () =
+              match fetch () with
+              | None ->
+                  Dworker.drain dw;
+                  resolve ();
+                  Dworker.stop dw;
+                  finish_stream ()
+              | Some txns ->
+                  let snapshot, outputs, metrics =
+                    match t.executor with
+                    | Block_stm config
+                      when t.async_flush && config.rolling_commit ->
+                        let r =
+                          Bstm.run ~config
+                            ~on_flush:(fun batch ->
+                              Dworker.push dw (fun () ->
+                                  Array.iter
+                                    (fun (l, v) -> Mstore.stage m l (Some v))
+                                    batch))
+                            ~storage:(Mstore.reader m) txns
+                        in
+                        (r.Bstm.snapshot, r.Bstm.outputs, Some r.Bstm.metrics)
+                    | _ -> run_executor t txns
+                  in
+                  (* Root(h-1) ran before this block's staging jobs (FIFO)
+                     and overlapped its execution; after the drain both are
+                     settled. *)
+                  Dworker.drain dw;
+                  resolve ();
+                  if Mstore.staged_count m > 0 then Mstore.commit_staged m;
+                  apply_state_delta t snapshot;
+                  t.height <- t.height + 1;
+                  let p = promise () in
+                  Dworker.push dw (fun () -> fulfill p (Mstore.root m));
+                  pending :=
+                    Some
+                      {
+                        sp_height = t.height;
+                        sp_txn_count = Array.length txns;
+                        sp_outputs = outputs;
+                        sp_delta_root = digest ~hash_loc ~hash_value snapshot;
+                        sp_metrics = metrics;
+                        sp_root = p;
+                      };
+                  go ()
+            in
+            go ())
+    | `Speculative ->
+        let cfg =
+          match t.executor with
+          | Block_stm c when c.rolling_commit -> c
+          | Block_stm _ ->
+              invalid_arg
+                "Chain.execute_stream: `Speculative requires rolling_commit"
+          | Sequential ->
+              invalid_arg
+                "Chain.execute_stream: `Speculative requires a Block_stm \
+                 executor"
+        in
+        let ndom = cfg.Bstm.num_domains in
+        let dw = Dworker.create () in
+        let ov = Overlay.create () in
+        (* Frozen stream-start state: the immutable tier every speculative
+           read bottoms out in. The live store is only touched by the digest
+           worker (and read by nobody) until the stream ends. *)
+        let frozen = Store.copy (state t) in
+        let frozen_read = Store.reader frozen in
+        let spawn_worker inst i =
+          Domain.spawn (fun () -> Bstm.worker_loop ~worker:i inst)
+        in
+        (* Build the next block's speculative instance: reads go overlay →
+           (wait, if the predecessor advertises a write) → frozen base, all
+           stamped with the overlay generation (DESIGN.md §14). *)
+        let make_spec ~pred txns =
+          let epoch0 = Overlay.epoch ov in
+          let v0 = Overlay.version ov in
+          let pending_loc =
+            match pred with
+            | None -> fun _ -> false
+            | Some pinst -> fun loc -> Bstm.pending_location pinst loc
+          in
+          let probe loc =
+            match Overlay.find ov loc with
+            | Some v -> Intf.Hit (Some v)
+            | None ->
+                if pending_loc loc then
+                  Intf.Cold
+                    (fun () ->
+                      match Overlay.wait ov loc ~epoch:epoch0 with
+                      | Some v -> Some v
+                      | None -> frozen_read loc)
+                else Intf.Hit (frozen_read loc)
+          in
+          let storage loc =
+            match probe loc with Intf.Hit v -> v | Intf.Cold f -> f ()
+          in
+          let on_flush batch =
+            Overlay.apply_batch ov batch;
+            match t.state with
+            | S_merkle m ->
+                Dworker.push dw (fun () ->
+                    Array.iter (fun (l, v) -> Mstore.stage m l (Some v)) batch)
+            | S_flat _ -> ()
+          in
+          let config =
+            { cfg with Bstm.cross_block = true; cold_read_suspend = true }
+          in
+          let inst =
+            Bstm.create_instance ~config ~gen:(Overlay.gen ov) ~probe ~storage
+              ~on_flush txns
+          in
+          (inst, v0)
+        in
+        (* Wait out the current block (the driver lends itself as a worker),
+           finalize it, and hand its state maintenance + root to the digest
+           worker. Must run BEFORE the successor's [base_sealed]: FIFO then
+           guarantees root(h) sees none of block h+1's writes. *)
+        let finish_cur (inst, workers, txn_count, pre_aborts) =
+          Bstm.worker_loop inst;
+          List.iter Domain.join workers;
+          let res = Bstm.finalize inst in
+          (match pre_aborts with
+          | None -> ()
+          | Some pre ->
+              let m = res.Bstm.metrics in
+              spec_aborts :=
+                !spec_aborts + (m.Bstm.validation_aborts - pre));
+          let snapshot = res.Bstm.snapshot in
+          (match t.state with
+          | S_flat s ->
+              Dworker.push dw (fun () -> Store.apply_delta s snapshot)
+          | S_merkle m ->
+              (* Staging jobs for every flushed batch are already queued;
+                 commit_staged folds them into the base tier, and the
+                 snapshot re-application is an idempotent completeness
+                 backstop (equal values: digest no-ops). *)
+              Dworker.push dw (fun () -> Mstore.commit_staged m);
+              Dworker.push dw (fun () -> Mstore.apply_delta m snapshot));
+          t.height <- t.height + 1;
+          let p = promise () in
+          (match t.state with
+          | S_flat s ->
+              Dworker.push dw (fun () ->
+                  fulfill p (digest ~hash_loc ~hash_value (Store.to_alist s)))
+          | S_merkle m -> Dworker.push dw (fun () -> fulfill p (Mstore.root m)));
+          resolve ();
+          pending :=
+            Some
+              {
+                sp_height = t.height;
+                sp_txn_count = txn_count;
+                sp_outputs = res.Bstm.outputs;
+                sp_delta_root = digest ~hash_loc ~hash_value snapshot;
+                sp_metrics = Some res.Bstm.metrics;
+                sp_root = p;
+              }
+        in
+        let rec go cur =
+          match fetch () with
+          | None ->
+              (match cur with Some c -> finish_cur c | None -> ());
+              Overlay.seal ov;
+              resolve ();
+              Dworker.stop dw;
+              finish_stream ()
+          | Some txns ->
+              let pred =
+                match cur with Some (i, _, _, _) -> Some i | None -> None
+              in
+              let inst, v0 = make_spec ~pred txns in
+              (* One domain starts speculating right away; the rest of the
+                 budget joins after the promotion below. *)
+              let specd = if ndom >= 2 then [ spawn_worker inst 0 ] else [] in
+              (match cur with Some c -> finish_cur c | None -> ());
+              Overlay.seal ov;
+              (* Promote: the predecessor's stream has fully landed in the
+                 overlay. Sample aborts-so-far first — everything after this
+                 point is a speculation casualty (the seal-time
+                 revalidation), everything before is ordinary intra-block
+                 conflict. *)
+              let pre =
+                match pred with
+                | None -> None
+                | Some _ ->
+                    Some (Bstm.metrics_of inst).Bstm.validation_aborts
+              in
+              Bstm.base_sealed ~changed:(Overlay.version ov <> v0) inst;
+              let extra =
+                List.init
+                  (max 0 (ndom - 1 - List.length specd))
+                  (fun i -> spawn_worker inst (i + 1))
+              in
+              go (Some (inst, specd @ extra, Array.length txns, pre))
+        in
+        go None
 
   (** Execute a sequence of blocks in order and return their commits, oldest
       first. With [pipeline] (default [false]), block [h]'s state-root
-      finalization — the digest over the full post-state — runs in a
-      background domain while block [h+1] executes, the streaming analogue of
-      the rolling engine commit one level up: the root is still computed over
-      a frozen copy of exactly the state {!execute_block} would digest, so
-      commits (heights, roots, outputs) are identical either way.
-
-      On the Merkle substrate the root is incremental — O(|delta| · log
-      buckets), nothing worth pipelining — so [pipeline] is a no-op there and
-      blocks take the plain {!execute_block} path. *)
+      finalization runs on the long-lived digest worker while block [h+1]
+      executes (see {!execute_stream}'s [`Pipelined]) — on the flat
+      substrate that is the whole-state fold, on the Merkle substrate the
+      digest-tree refresh (and, with [async_flush], accumulator staging
+      already overlaps execution). Commits (heights, roots, outputs) are
+      identical either way. *)
   let execute_blocks ?(pipeline = false) (t : 'o t)
       (blocks : (L.t, V.t, 'o) Txn.t array list) : 'o block_commit list =
-    let plain () = List.map (fun txns -> execute_block t txns) blocks in
-    match t.state with
-    | S_merkle _ -> plain ()
-    | S_flat flat ->
-        if not pipeline then plain ()
-        else begin
-          let committed = ref [] in
-          let finish (p : 'o pending_commit) : unit =
-            let commit =
-              {
-                height = p.p_height;
-                txn_count = p.p_txn_count;
-                outputs = p.p_outputs;
-                outputs_retained = true;
-                state_root = Domain.join p.p_root;
-                delta_root = p.p_delta_root;
-                metrics = p.p_metrics;
-              }
-            in
-            t.commits <- commit :: t.commits;
-            prune_history t;
-            committed := commit :: !committed
-          in
-          let pending = ref None in
-          List.iter
-            (fun txns ->
-              let snapshot, outputs, metrics = run_executor t txns in
-              Store.apply_delta flat snapshot;
-              t.height <- t.height + 1;
-              (* Freeze the post-state before the next block mutates it; the
-                 digest domain only reads the frozen copy (the sort inside
-                 [to_alist] and the fold both run off the critical path). *)
-              let frozen = Store.copy flat in
-              let hash_loc = t.hash_loc and hash_value = t.hash_value in
-              let p =
-                {
-                  p_height = t.height;
-                  p_txn_count = Array.length txns;
-                  p_outputs = outputs;
-                  p_delta_root = digest ~hash_loc ~hash_value snapshot;
-                  p_metrics = metrics;
-                  p_root =
-                    Domain.spawn (fun () ->
-                        digest ~hash_loc ~hash_value (Store.to_alist frozen));
-                }
-              in
-              (* Join the previous block's root only now — its digest
-                 overlapped this block's execution — keeping commits in
-                 height order. *)
-              (match !pending with Some prev -> finish prev | None -> ());
-              pending := Some p)
-            blocks;
-          (match !pending with Some prev -> finish prev | None -> ());
-          List.rev !committed
-        end
+    let rem = ref blocks in
+    let next () =
+      match !rem with
+      | [] -> None
+      | b :: r ->
+          rem := r;
+          Some b
+    in
+    fst
+      (execute_stream
+         ~mode:(if pipeline then `Pipelined else `Per_block)
+         t ~next)
 
   (** Replica divergence check: do two chains agree on every committed
       root? Returns the height of the first divergence, if any. *)

@@ -1,0 +1,140 @@
+(** Cross-block committed-prefix overlay (DESIGN.md §14).
+
+    The read-through state a {e speculative} block executes against while its
+    predecessors are still streaming commits: a table of the locations
+    committed by earlier blocks of the stream, each stamped with a monotone
+    {e generation} counter, layered over a frozen copy of the stream-start
+    state (held by the driver, not by this module).
+
+    Writers are the predecessor instances' committed-prefix flush hooks
+    ({!apply_batch}, called in commit order) and the driver's {!seal} (one
+    per completed block, advancing the {e epoch}). Readers are the
+    speculative engine workers: {!gen} stamps every storage fall-through
+    read (recorded as [Read_origin.Storage_gen] and revalidated when the
+    base is sealed), {!find} serves the current overlay value, and {!wait}
+    parks a worker until a location the predecessor is known to write
+    actually commits — or the predecessor's epoch ends, whichever is first
+    (the predecessor may abort the write it once advertised).
+
+    Value-equal re-publications do not bump the generation: a read that
+    observed the value before the batch is still reading the truth, so
+    invalidating it would only cause a useless re-execution.
+
+    All state is under one mutex; the condition variable is broadcast on
+    every binding change and on every seal, and {!wait}'s predicate is
+    re-checked under the mutex, so wakeups cannot be lost. *)
+
+open Blockstm_kernel
+
+module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
+  module Tbl = Hashtbl.Make (L)
+
+  type t = {
+    m : Mutex.t;
+    cv : Condition.t;
+    tbl : (V.t * int) Tbl.t;  (** location -> (value, generation >= 1) *)
+    mutable epoch : int;  (** Completed (sealed) predecessor blocks. *)
+    mutable version : int;  (** Total binding mutations, ever. *)
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      tbl = Tbl.create 1024;
+      epoch = 0;
+      version = 0;
+    }
+
+  (** Generation stamp of a location: 0 if no stream block has committed a
+      write to it yet, else the count of distinct values it has held. *)
+  let gen t loc =
+    Mutex.lock t.m;
+    let g = match Tbl.find_opt t.tbl loc with None -> 0 | Some (_, g) -> g in
+    Mutex.unlock t.m;
+    g
+
+  let find t loc =
+    Mutex.lock t.m;
+    let v = Tbl.find_opt t.tbl loc in
+    Mutex.unlock t.m;
+    match v with None -> None | Some (v, _) -> Some v
+
+  (** Fold a committed-prefix flush batch in (called from the predecessor's
+      [on_flush] hook, in commit order — keep in mind it runs inside the
+      engine's flush critical section, so this does table writes and one
+      broadcast, nothing heavier). *)
+  let apply_batch t (batch : (L.t * V.t) array) =
+    if Array.length batch > 0 then begin
+      Mutex.lock t.m;
+      let changed = ref false in
+      Array.iter
+        (fun (loc, v) ->
+          match Tbl.find_opt t.tbl loc with
+          | Some (v0, _) when V.equal v0 v -> ()
+          | Some (_, g) ->
+              Tbl.replace t.tbl loc (v, g + 1);
+              t.version <- t.version + 1;
+              changed := true
+          | None ->
+              Tbl.replace t.tbl loc (v, 1);
+              t.version <- t.version + 1;
+              changed := true)
+        batch;
+      if !changed then Condition.broadcast t.cv;
+      Mutex.unlock t.m
+    end
+
+  (** The predecessor block completed: every write it will ever publish is
+      in the overlay. Wakes all waiters so [wait]s predicated on the old
+      epoch give up and fall back to the frozen base. *)
+  let seal t =
+    Mutex.lock t.m;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+
+  let epoch t =
+    Mutex.lock t.m;
+    let e = t.epoch in
+    Mutex.unlock t.m;
+    e
+
+  (** Mutation counter: unchanged iff no binding changed. The speculative
+      driver compares it across an instance's lifetime to decide whether the
+      seal-time revalidation pullback is needed at all. *)
+  let version t =
+    Mutex.lock t.m;
+    let v = t.version in
+    Mutex.unlock t.m;
+    v
+
+  let cardinal t =
+    Mutex.lock t.m;
+    let n = Tbl.length t.tbl in
+    Mutex.unlock t.m;
+    n
+
+  (** Block until [loc] is present, or the epoch advances past [epoch] (the
+      predecessor completed without committing a write to [loc] — its
+      advertised write aborted). Returns the overlay value, or [None] for
+      the epoch case: the caller falls back to the frozen base. *)
+  let wait t loc ~epoch =
+    Mutex.lock t.m;
+    let rec go () =
+      match Tbl.find_opt t.tbl loc with
+      | Some (v, _) ->
+          Mutex.unlock t.m;
+          Some v
+      | None ->
+          if t.epoch > epoch then begin
+            Mutex.unlock t.m;
+            None
+          end
+          else begin
+            Condition.wait t.cv t.m;
+            go ()
+          end
+    in
+    go ()
+end

@@ -149,6 +149,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             hitting the warmed cache. [false] (the default) pays the fetch
             latency inline inside the VM read. No effect unless [probe] is
             given. *)
+    cross_block : bool;
+        (** Cross-block speculation (DESIGN.md §14): this instance executes
+            block h+1 speculatively while block h's committed prefix is still
+            streaming into its base storage. Storage fall-through reads are
+            recorded as [Read_origin.Storage_gen] descriptors carrying the
+            overlay's per-location generation stamp (requires [gen] at
+            {!create_instance}), the commit sweep is gated shut, and the
+            scheduler starts held so completion stays unobservable — until
+            the driver calls {!base_sealed} once the predecessor's state is
+            final. Requires [rolling_commit]. Default [false]: no behavior
+            change anywhere. *)
   }
 
   let default_config =
@@ -164,6 +175,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       delta_ops = false;
       record_exec_ns = false;
       cold_read_suspend = false;
+      cross_block = false;
     }
 
   type 'o result = {
@@ -223,6 +235,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         (* Non-blocking storage view. When present, the VM's storage
            fall-through goes through it; a [Cold] answer either pays the
            fetch inline or (cold_read_suspend) suspends the transaction. *)
+    gen : (L.t -> int) option;
+        (* Per-location generation stamps of the cross-block overlay
+           (cross_block mode): sampled BEFORE the storage fall-through value
+           so a concurrent overlay update can only make the recorded stamp
+           stale — failing validation — never let a new value slip through
+           under an old stamp. *)
+    gate : bool Atomic.t;
+        (* Commit gate (cross_block mode): [maybe_commit] is a no-op while
+           the gate is closed, because rolling commits are terminal and must
+           not happen against a base that can still change. Opened by
+           [base_sealed], strictly after the final revalidation demand. *)
     mv : Mv.t;
     sched : Scheduler.t;
     cfg : config;
@@ -314,7 +337,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   }
 
   let create_instance ?(config = default_config) ?declared_writes ?trace
-      ?on_commit ?on_flush ?probe ~storage (txns : 'o txn array) :
+      ?on_commit ?on_flush ?probe ?gen ~storage (txns : 'o txn array) :
       'o instance =
     let n = Array.length txns in
     if config.num_domains < 1 then
@@ -334,9 +357,18 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
          readers racing the abort window cannot be pinned down by either the
          abort-time or the record-time registry collection. *)
       invalid_arg "Block_stm: targeted_validation requires use_estimates";
+    if config.cross_block && not config.rolling_commit then
+      (* The speculation-safety argument (DESIGN.md §14) leans on the
+         rolling machinery: dirty stamps to invalidate stale commit proofs
+         on the seal-time pullback, and the commit gate below. *)
+      invalid_arg "Block_stm: cross_block requires rolling_commit";
+    if config.cross_block && gen = None then
+      invalid_arg "Block_stm: cross_block requires gen";
+    if gen <> None && not config.cross_block then
+      invalid_arg "Block_stm: gen requires cross_block";
     let mv =
       Mv.create ~nshards:config.mv_nshards
-        ~targeted:config.targeted_validation ~storage ~block_size:n ()
+        ~targeted:config.targeted_validation ~storage ?gen ~block_size:n ()
     in
     (if config.prefill_estimates then
        match declared_writes with
@@ -351,10 +383,13 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       txns;
       storage;
       probe;
+      gen;
+      gate = Atomic.make (not config.cross_block);
       mv;
       sched =
         Scheduler.create ~rolling:config.rolling_commit
-          ~targeted:config.targeted_validation ~block_size:n ();
+          ~targeted:config.targeted_validation ~hold:config.cross_block
+          ~block_size:n ();
       cfg = config;
       outputs = Array.make n None;
       suspensions = Array.init n (fun _ -> Atomic.make None);
@@ -457,20 +492,32 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     (* Storage fall-through, routed through the non-blocking probe when one
        is wired. A [Cold] miss either suspends the transaction across the
        fetch (cold_read_suspend: the retried probe after resumption hits the
-       warmed cache) or pays the fetch latency inline. *)
+       warmed cache) or pays the fetch latency inline. Returns the read-set
+       descriptor along with the value: plain [Storage] normally, or the
+       overlay generation stamp in cross_block mode — sampled before the
+       value (and re-sampled on every probe retry), so a concurrent overlay
+       update makes the stamp stale rather than the value unvalidated. *)
+    let origin_of loc =
+      match inst.gen with
+      | None -> Read_origin.Storage
+      | Some g -> Read_origin.Storage_gen (g loc)
+    in
     let storage_read loc =
       match inst.probe with
-      | None -> inst.storage loc
+      | None ->
+          let o = origin_of loc in
+          (o, inst.storage loc)
       | Some probe ->
           let rec go () =
+            let o = origin_of loc in
             match probe loc with
-            | Intf.Hit v -> v
+            | Intf.Hit v -> (o, v)
             | Intf.Cold fetch ->
                 if inst.cfg.cold_read_suspend then begin
                   Effect.perform (Cold_read (fun () -> ignore (fetch ())));
                   go ()
                 end
-                else fetch ()
+                else (o, fetch ())
           in
           go ()
     in
@@ -497,8 +544,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                     end
                     else raise (Dependency blocking_txn_idx)
                 | Mv.Not_found ->
-                    push_read sc (loc, Read_origin.Storage);
-                    storage_read loc
+                    let o, v = storage_read loc in
+                    push_read sc (loc, o);
+                    v
                 | Mv.Ok (version, value) ->
                     push_read sc (loc, Read_origin.Mv version);
                     Some value
@@ -565,7 +613,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                 | Mv.Merged { value } -> Some value
                 | Mv.Ok (_, value) -> V.as_counter value
                 | Mv.Not_found -> (
-                    match storage_read loc with
+                    (* The stamp is dropped: delta descriptors (Range /
+                       Counter / Not_counter) re-materialize through the
+                       current base at validation time, so an overlay change
+                       is caught by the value predicate itself. *)
+                    match snd (storage_read loc) with
                     | None -> Some 0 (* absent counts as 0 *)
                     | Some v -> V.as_counter v)
               in
@@ -983,7 +1035,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       sweep and flush newly committed transactions out of MVMemory. Returns
       the number of transactions committed by this call. *)
   let maybe_commit (inst : 'o instance) : int =
-    if not inst.cfg.rolling_commit then 0
+    if (not inst.cfg.rolling_commit) || not (Atomic.get inst.gate) then 0
     else begin
       let n =
         Scheduler.try_advance_commit inst.sched ~on_commit:(commit_one inst)
@@ -993,6 +1045,36 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           ~upto:(Scheduler.committed_prefix inst.sched);
       n
     end
+
+  (* Cross-block speculation driver hooks (DESIGN.md §14). *)
+
+  (** The predecessor block's stream of committed writes has ended and the
+      base storage this instance reads through is final. [changed] (default
+      [true]): whether the base actually changed since the instance was
+      created — when it did, every transaction is pulled back for
+      revalidation (stamping the rolling dirty waves, so commit proofs
+      claimed against the mutable base cannot commit); only then is the
+      commit gate opened and the scheduler's completion hold released. The
+      order matters: a commit that passes the gate necessarily postdates the
+      pullback, so its proof wave reflects the sealed base. *)
+  let base_sealed ?(changed = true) (inst : _ instance) : unit =
+    if not inst.cfg.cross_block then
+      invalid_arg "Block_stm: base_sealed requires cross_block";
+    if changed then Scheduler.demand_revalidation inst.sched ~from_idx:0;
+    Atomic.set inst.gate true;
+    Scheduler.release_hold inst.sched
+
+  (** Whether any transaction of this block has (so far) published a write
+      or delta to [loc] — the successor's cold-read predicate: a location
+      this block never touches can be read from the pre-block base without
+      waiting. A later first write still invalidates such a read through its
+      generation stamp; this is a wait-avoidance heuristic, not a safety
+      condition. Reading at [txn_idx = block_size] sees every entry and
+      registers no reader. *)
+  let pending_location (inst : _ instance) (loc : L.t) : bool =
+    match Mv.read inst.mv loc ~txn_idx:(Array.length inst.txns) with
+    | Mv.Not_found -> false
+    | Mv.Ok _ | Mv.Merged _ | Mv.Read_error _ -> true
 
   let worker_loop ?(worker = 0) (inst : _ instance) : unit =
     let rolling = inst.cfg.rolling_commit in
@@ -1083,6 +1165,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   let finalize (inst : 'o instance) : 'o result =
     let n = Array.length inst.txns in
+    if inst.cfg.cross_block && not (Atomic.get inst.gate) then
+      failwith
+        "Block_stm: finalize on a cross_block instance before base_sealed";
     if inst.cfg.targeted_validation then begin
       (* Sync the scheduler-sourced targeted counters into the registry (so
          JSON exports carry them) and sample registry occupancy. [finalize]

@@ -227,6 +227,40 @@ let generate_hotspot (spec : hotspot_spec) : hotspot =
     h_transfers = transfers;
   }
 
+(** Hotspot analogue of {!generate_stream}: [nblocks] consecutive blocks of
+    commutative payments into the hot accounts, sender sequence numbers
+    threaded across the stream. All blocks share one genesis. *)
+let generate_hotspot_stream (spec : hotspot_spec) ~(nblocks : int) :
+    hotspot list =
+  if spec.h_hot_accounts < 1 then
+    invalid_arg "P2p.generate_hotspot_stream: need at least 1 hot account";
+  if spec.h_num_accounts <= spec.h_hot_accounts then
+    invalid_arg "P2p.generate_hotspot_stream: need cold accounts to send from";
+  if spec.h_amount_max < 1 then
+    invalid_arg "P2p.generate_hotspot_stream: amount_max >= 1";
+  if nblocks < 1 then invalid_arg "P2p.generate_hotspot_stream: nblocks >= 1";
+  let rng = Rng.create spec.h_seed in
+  let ncold = spec.h_num_accounts - spec.h_hot_accounts in
+  let next_seqno = Array.make spec.h_num_accounts 0 in
+  let storage = genesis ~num_accounts:spec.h_num_accounts () in
+  List.init nblocks (fun _ ->
+      let transfers =
+        Array.init spec.h_block_size (fun _ ->
+            let sender = spec.h_hot_accounts + Rng.int rng ncold in
+            let recipient = Rng.int rng spec.h_hot_accounts in
+            let amount = 1 + Rng.int rng spec.h_amount_max in
+            let exp_seqno = next_seqno.(sender) in
+            next_seqno.(sender) <- exp_seqno + 1;
+            { sender; recipient; amount; exp_seqno })
+      in
+      {
+        h_spec = spec;
+        h_storage = storage;
+        h_txns = Array.map (hotspot_txn ~work:spec.h_work) transfers;
+        h_declared_writes = Array.map hotspot_txn_writes transfers;
+        h_transfers = transfers;
+      })
+
 let generate (spec : spec) : t =
   if spec.num_accounts < 2 then
     invalid_arg "P2p.generate: need at least 2 accounts";
@@ -253,6 +287,43 @@ let generate (spec : spec) : t =
     declared_writes = Array.map txn_writes transfers;
     transfers;
   }
+
+(** Generate [nblocks] consecutive blocks of [spec] with sequence numbers
+    threaded across the whole stream: block [k+1]'s transfers expect the
+    seqnos block [k] left behind, so the blocks only execute correctly {e in
+    order against the evolving state} — exactly what the continuous pipeline
+    must preserve. All blocks share one genesis ([(List.hd l).storage]);
+    [txns]/[transfers]/[declared_writes] differ per block. *)
+let generate_stream (spec : spec) ~(nblocks : int) : t list =
+  if spec.num_accounts < 2 then
+    invalid_arg "P2p.generate_stream: need at least 2 accounts";
+  if spec.amount_max < 1 then
+    invalid_arg "P2p.generate_stream: amount_max >= 1";
+  if nblocks < 1 then invalid_arg "P2p.generate_stream: nblocks >= 1";
+  let rng = Rng.create spec.seed in
+  let next_seqno = Array.make spec.num_accounts 0 in
+  let storage = genesis ~num_accounts:spec.num_accounts () in
+  let mk =
+    match spec.flavor with
+    | Standard -> standard_txn ~work:spec.work
+    | Simplified -> simplified_txn ~work:spec.work
+  in
+  List.init nblocks (fun _ ->
+      let transfers =
+        Array.init spec.block_size (fun _ ->
+            let sender, recipient = Rng.distinct_pair rng spec.num_accounts in
+            let amount = 1 + Rng.int rng spec.amount_max in
+            let exp_seqno = next_seqno.(sender) in
+            next_seqno.(sender) <- exp_seqno + 1;
+            { sender; recipient; amount; exp_seqno })
+      in
+      {
+        spec;
+        storage;
+        txns = Array.map mk transfers;
+        declared_writes = Array.map txn_writes transfers;
+        transfers;
+      })
 
 let balance_delta_of_transfers ~num_accounts transfers : int array =
   let delta = Array.make num_accounts 0 in

@@ -13,7 +13,8 @@ let config ?(num_domains = 1) ?(use_estimates = true)
     ?(prevalidate_reads = true) ?(prefill_estimates = false)
     ?(suspend_resume = false) ?(rolling_commit = false) ?(mv_nshards = 64)
     ?(targeted_validation = false) ?(delta_ops = false)
-    ?(record_exec_ns = false) ?(cold_read_suspend = false) () =
+    ?(record_exec_ns = false) ?(cold_read_suspend = false)
+    ?(cross_block = false) () =
   {
     Bstm.num_domains;
     use_estimates;
@@ -26,6 +27,7 @@ let config ?(num_domains = 1) ?(use_estimates = true)
     delta_ops;
     record_exec_ns;
     cold_read_suspend;
+    cross_block;
   }
 
 (* --- Basics -------------------------------------------------------------- *)

@@ -17,6 +17,7 @@ let () =
       ("stress", Test_stress.suite);
       ("scaling_stress", Test_scaling_stress.suite);
       ("chain", Test_chain.suite);
+      ("pipeline", Test_pipeline.suite);
       ("merkle", Test_merkle.suite);
       ("coldread", Test_coldread.suite);
       ("delta", Test_delta.suite);

@@ -201,4 +201,40 @@ if ! awk "BEGIN{exit !($sspeed >= 5.0)}"; then
 fi
 echo "ci: state-scale gate passed (incremental ${sspeed}x >= 5x fold at 10^5 accounts, roots ok)"
 
+# --- Sustained pipeline smoke -----------------------------------------------
+# The continuous block pipeline (DESIGN.md §14). Two invariants:
+#   - identity is unconditional: every (store, mode, domains) grid point
+#     must report "ok" in the roots column — streamed, pipelined and
+#     speculative execution all commit bit-identically to the per-block
+#     sequential reference. Any MISMATCH fails on any host.
+#   - throughput is gated like the scaling bench: on >= 4 cores (or with
+#     BLOCKSTM_SUSTAINED_GATE=1) the flat pipelined 4-domain point must not
+#     fall below flat per-block at 4 domains; on single-core hosts the
+#     overlap has no spare core to run on, so the comparison is report-only.
+out=$(dune exec bench/main.exe -- sustained)
+printf '%s\n' "$out"
+if printf '%s\n' "$out" \
+  | awk '($1=="flat" || $1=="merkle") && NF>=8 && $8!="ok" {exit 1}'
+then :; else
+  echo "ci: FAIL — sustained reported a commit divergence (see the roots column): pipelined/speculative streams must be bit-identical to per-block"
+  exit 1
+fi
+sus_pb=$(printf '%s\n' "$out" \
+  | awk '$1=="flat" && $2=="per-block" && $3=="4" {print int($4)}')
+sus_pl=$(printf '%s\n' "$out" \
+  | awk '$1=="flat" && $2=="pipelined" && $3=="4" {print int($4)}')
+if [ -z "$sus_pb" ] || [ -z "$sus_pl" ]; then
+  echo "ci: FAIL — sustained did not report flat per-block and pipelined tps at 4 domains"
+  exit 1
+fi
+if [ "$cores" -ge 4 ] || [ "${BLOCKSTM_SUSTAINED_GATE:-0}" = "1" ]; then
+  if [ "$sus_pl" -lt "$sus_pb" ]; then
+    echo "ci: FAIL — sustained regression: pipelined ($sus_pl tps) < per-block ($sus_pb tps) on flat/4 domains"
+    exit 1
+  fi
+  echo "ci: sustained gate passed (pipelined $sus_pl tps >= per-block $sus_pb tps, all roots ok)"
+else
+  echo "ci: sustained gate report-only on $cores core(s): per-block $sus_pb tps, pipelined $sus_pl tps; roots all ok"
+fi
+
 echo "ci: all checks passed"
