@@ -1386,6 +1386,122 @@ let sustained mode =
     modes;
   Report.emit_table lt
 
+(* --- Spec-cost: static access specifications (DESIGN.md §15) ---------------- *)
+
+(* The same block, three ways: optimistic Block-STM, spec-seeded Block-STM
+   (static specs supplied: provably-independent transactions skip the
+   validation read-set walk, exact write specs seed ESTIMATE markers), and
+   the spec-driven dependency DAG (each transaction executed exactly once
+   after its declared writers, no validation at all). The DAG run's final
+   snapshot is asserted bit-identical to the optimistic run's at every grid
+   point — both must equal the sequential execution. *)
+let spec_cost_rows t ~workload ~block ~accounts ~threads ~storage ~txns ~specs
+    =
+  let per x = Printf.sprintf "%.3f" (float_of_int x /. float_of_int block) in
+  let base = Harness.Bstm.default_config in
+  let opt_r, opt_s = Harness.sim_blockstm ~num_threads:threads ~storage txns in
+  let seed_r, seed_s =
+    Harness.sim_blockstm
+      ~config:{ base with static_specs = true }
+      ~specs ~num_threads:threads ~storage txns
+  in
+  let dag_r, dag_s =
+    Harness.sim_blockstm
+      ~config:{ base with spec_dag = true }
+      ~specs ~num_threads:threads ~storage txns
+  in
+  if not (Harness.equal_snapshot opt_r.snapshot dag_r.snapshot) then
+    Fmt.failwith
+      "spec-cost: spec-DAG snapshot diverged from optimistic (%s, \
+       accounts=%d, threads=%d)"
+      workload accounts threads;
+  if not (Harness.equal_outputs opt_r.outputs dag_r.outputs) then
+    Fmt.failwith
+      "spec-cost: spec-DAG outputs diverged from optimistic (%s, \
+       accounts=%d, threads=%d)"
+      workload accounts threads;
+  let row variant (r : int Harness.Bstm.result) stats =
+    let m = r.Harness.Bstm.metrics in
+    let tps = VE.tps ~txns:block stats in
+    Report.sample
+      ~label:
+        (Printf.sprintf "spec_cost/%s/%s/accounts=%d/threads=%d/tps" workload
+           variant accounts threads)
+      tps;
+    T.add_row t
+      [
+        workload;
+        string_of_int accounts;
+        string_of_int threads;
+        variant;
+        fmt_tps tps;
+        per m.validations;
+        per (m.validation_aborts + m.dependency_aborts);
+        per m.spec_skips;
+      ]
+  in
+  row "optimistic" opt_r opt_s;
+  row "spec-seeded" seed_r seed_s;
+  row "spec-dag" dag_r dag_s
+
+let spec_cost mode =
+  let block = 1_000 in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Spec-cost: optimistic vs spec-seeded vs spec-DAG (block %d)"
+           block)
+      ~header:
+        [
+          "workload";
+          "accounts";
+          "threads";
+          "variant";
+          "tps";
+          "validations/txn";
+          "aborts/txn";
+          "spec-skips/txn";
+        ]
+  in
+  let accounts_grid =
+    match mode with
+    | Quick -> [ 100; 1_000; 10_000 ]
+    | Full -> [ 10; 100; 1_000; 10_000 ]
+  in
+  let thread_grid =
+    match mode with Quick -> [ 4; 16 ] | Full -> [ 1; 2; 4; 8; 16; 32 ]
+  in
+  List.iter
+    (fun accounts ->
+      List.iter
+        (fun threads ->
+          let w =
+            P2p.generate
+              (p2p_spec ~flavor:P2p.Standard ~accounts ~block ~seed:42)
+          in
+          spec_cost_rows t ~workload:"p2p" ~block ~accounts ~threads
+            ~storage:w.storage ~txns:w.txns ~specs:(P2p.txn_specs w))
+        thread_grid)
+    accounts_grid;
+  (* Hotspot grid: every transfer lands in one of [hot] accounts, so the
+     spec DAG is genuinely deep — the regime where optimistic re-execution
+     and spec-driven parking trade places. *)
+  List.iter
+    (fun hot ->
+      List.iter
+        (fun threads ->
+          let h =
+            P2p.generate_hotspot
+              { P2p.default_hotspot_spec with h_hot_accounts = hot }
+          in
+          spec_cost_rows t ~workload:"hotspot" ~block ~accounts:hot ~threads
+            ~storage:h.h_storage ~txns:h.h_txns
+            ~specs:(P2p.hotspot_txn_specs h))
+        thread_grid)
+    [ 2; 10; 100 ];
+  Report.emit_table t
+
 (* --- Registry ---------------------------------------------------------------- *)
 
 let all : (string * string * (mode -> unit)) list =
@@ -1407,4 +1523,5 @@ let all : (string * string * (mode -> unit)) list =
     ("minimove", "MiniMove interpreter end-to-end", minimove);
     ("vm-cost", "VM cost: tree-walk vs compiled MiniMove VM (§11)", vm_cost);
     ("sustained", "Sustained: continuous block pipeline (§14)", sustained);
+    ("spec-cost", "Static access specs: seeding, skips, spec-DAG (§15)", spec_cost);
   ]

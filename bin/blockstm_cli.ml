@@ -5,12 +5,15 @@
      sim       virtual-time thread-scaling sweep
      exp       regenerate the paper's figures/tables (same as bench/main.exe)
      minimove  compile and run a MiniMove script file
+     analyze   infer static access specifications for a MiniMove script
 
    Examples:
      blockstm run --workload p2p --accounts 100 --block 1000 --domains 4
+     blockstm run --workload p2p --accounts 10000 --specs --sched spec-dag
      blockstm sim --workload p2p --accounts 2 --threads 1,4,16,32
      blockstm exp --id fig3 --full
-     blockstm minimove --file contract.mm --args '@1,@2,10,0' *)
+     blockstm minimove --file contract.mm --args '@1,@2,10,0'
+     blockstm analyze --file contract.mm --json *)
 
 open Cmdliner
 open Blockstm_workload
@@ -84,8 +87,13 @@ let theta_arg =
     value & opt float 0.9
     & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew (zipfian workload).")
 
+(* [generated, declared write-sets (for BOHM), static access specs
+   (DESIGN.md §15 — p2p flavors only, where the block-formation data pins
+   every access)]. *)
 let build_workload kind ~accounts ~block ~seed ~theta :
-    Synthetic.generated * Ledger.Loc.t array array option =
+    Synthetic.generated
+    * Ledger.Loc.t array array option
+    * Ledger.Loc.t Blockstm_kernel.Access_spec.t array option =
   match kind with
   | W_p2p | W_p2p_simplified ->
       let flavor =
@@ -103,7 +111,8 @@ let build_workload kind ~accounts ~block ~seed ~theta :
       in
       ( { Synthetic.storage = w.storage; txns = w.txns;
           declared_writes = w.declared_writes },
-        Some w.declared_writes )
+        Some w.declared_writes,
+        Some (P2p.txn_specs w) )
   | W_p2p_hotspot ->
       let w =
         P2p.generate_hotspot
@@ -116,20 +125,23 @@ let build_workload kind ~accounts ~block ~seed ~theta :
       in
       ( { Synthetic.storage = w.h_storage; txns = w.h_txns;
           declared_writes = w.h_declared_writes },
-        Some w.h_declared_writes )
-  | W_hotspot -> (Synthetic.hotspot ~block_size:block, None)
-  | W_independent -> (Synthetic.independent ~block_size:block, None)
+        Some w.h_declared_writes,
+        Some (P2p.hotspot_txn_specs w) )
+  | W_hotspot -> (Synthetic.hotspot ~block_size:block, None, None)
+  | W_independent -> (Synthetic.independent ~block_size:block, None, None)
   | W_zipfian ->
       let g = Synthetic.zipfian ~block_size:block ~num_accounts:accounts
           ~theta ~seed in
-      (g, Some g.declared_writes)
+      (g, Some g.declared_writes, None)
   | W_read_heavy ->
       ( Synthetic.read_heavy ~block_size:block ~num_accounts:accounts
           ~reads:16 ~writer_every:4 ~seed,
+        None,
         None )
-  | W_chain -> (Synthetic.chain ~block_size:block, None)
+  | W_chain -> (Synthetic.chain ~block_size:block, None, None)
   | W_churn ->
-      (Synthetic.churn ~block_size:block ~num_accounts:accounts ~seed, None)
+      (Synthetic.churn ~block_size:block ~num_accounts:accounts ~seed, None,
+       None)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -272,6 +284,48 @@ let run_cmd =
              (blockstm executor only) — load it in chrome://tracing or \
              https://ui.perfetto.dev.")
   in
+  let specs_flag =
+    Arg.(
+      value & flag
+      & info [ "specs" ]
+          ~doc:
+            "Static access specifications (DESIGN.md §15): supply each \
+             transaction's exact read/write spec to the engine — exact \
+             write specs seed ESTIMATE markers before first execution and \
+             provably-independent transactions skip the validation \
+             read-set walk (reported as spec_skips). Blockstm executor \
+             only; requires a spec-capable workload (p2p, p2p-simplified, \
+             p2p-hotspot).")
+  in
+  let sched_arg =
+    let sched_conv =
+      let parse = function
+        | "optimistic" -> Ok `Optimistic
+        | "spec-dag" -> Ok `Spec_dag
+        | s ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown scheduler %S (optimistic|spec-dag)"
+                    s))
+      in
+      let print ppf s =
+        Fmt.string ppf
+          (match s with `Optimistic -> "optimistic" | `Spec_dag -> "spec-dag")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt sched_conv `Optimistic
+      & info [ "sched" ] ~docv:"MODE"
+          ~doc:
+            "Scheduling mode (blockstm executor only): $(b,optimistic) \
+             (the paper's collaborative scheduler, the default) or \
+             $(b,spec-dag) (DESIGN.md §15 — build a dependency DAG from \
+             the static access specs and execute every transaction exactly \
+             once, no validation or re-execution; requires a spec-capable \
+             workload, see $(b,--specs)).")
+  in
   let run_pipeline g config executor store n_blocks n =
     let module C = Harness.ChainX in
     let executor =
@@ -318,9 +372,28 @@ let run_cmd =
   in
   let action workload accounts block seed theta executor domains suspend
       no_estimates rolling targeted deltas pipeline blocks store cold_ns
-      verify trace_out =
-    let g, declared = build_workload workload ~accounts ~block ~seed ~theta in
+      verify trace_out use_specs sched =
+    let g, declared, wspecs =
+      build_workload workload ~accounts ~block ~seed ~theta
+    in
     let n = Array.length g.txns in
+    let spec_dag = sched = `Spec_dag in
+    let specs =
+      if not (use_specs || spec_dag) then None
+      else
+        match wspecs with
+        | Some _ when pipeline || cold_ns > 0 ->
+            Fmt.epr
+              "--specs / --sched spec-dag do not compose with --pipeline or \
+               --cold-read-ns@.";
+            exit 2
+        | Some s -> Some s
+        | None ->
+            Fmt.epr
+              "--specs / --sched spec-dag need a spec-capable workload \
+               (p2p, p2p-simplified, p2p-hotspot)@.";
+            exit 2
+    in
     let config =
       {
         Harness.Bstm.default_config with
@@ -331,6 +404,8 @@ let run_cmd =
         targeted_validation = targeted;
         delta_ops = deltas;
         cold_read_suspend = cold_ns > 0;
+        static_specs = use_specs && not spec_dag;
+        spec_dag;
       }
     in
     if pipeline then run_pipeline g config executor store blocks n
@@ -361,8 +436,8 @@ let run_cmd =
                   in
                   (r, Some c)
                 else
-                  ( Harness.run_blockstm ~config ?trace ~storage:g.storage
-                      g.txns,
+                  ( Harness.run_blockstm ~config ?specs ?trace
+                      ~storage:g.storage g.txns,
                     None ))
           in
           Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics r.metrics;
@@ -426,7 +501,7 @@ let run_cmd =
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
       $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
       $ targeted $ deltas $ pipeline $ blocks $ store_arg $ cold_ns_arg
-      $ verify $ trace_out)
+      $ verify $ trace_out $ specs_flag $ sched_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -450,7 +525,7 @@ let sim_cmd =
           ~doc:"Commutative delta entries (DESIGN.md §12).")
   in
   let action workload accounts block seed theta threads suspend deltas =
-    let g, _ = build_workload workload ~accounts ~block ~seed ~theta in
+    let g, _, _ = build_workload workload ~accounts ~block ~seed ~theta in
     let n = Array.length g.txns in
     let seq_us = Harness.sim_sequential_makespan ~storage:g.storage g.txns in
     Fmt.pr "sequential: %.0f tps (virtual time)@."
@@ -695,9 +770,105 @@ let minimove_cmd =
   let term = Term.(const action $ file $ args_arg $ genesis $ vm_arg) in
   Cmd.v (Cmd.info "minimove" ~doc:"Compile and run a MiniMove script") term
 
+(* --- analyze ---------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"MiniMove source file.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the specs as JSON instead of the human listing.")
+  in
+  let action file json =
+    let open Blockstm_minimove in
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match
+      let prog = Parser.parse src in
+      Check.check ~require_main:false prog;
+      prog
+    with
+    | exception Lexer.Lex_error (m, l) ->
+        Fmt.epr "lex error (line %d): %s@." l m;
+        exit 2
+    | exception Parser.Parse_error (m, l) ->
+        Fmt.epr "parse error (line %d): %s@." l m;
+        exit 2
+    | exception Check.Check_error m ->
+        Fmt.epr "check error: %s@." m;
+        exit 2
+    | prog ->
+        let specs = Access.infer prog in
+        (* Precision over reads @ writes: exact addresses (including
+           parameter-relative ones, which specialize to exact at block
+           formation) vs resource wildcards vs unknown. *)
+        let precision { Access.spec_reads; spec_writes } =
+          List.fold_left
+            (fun (e, w, u) -> function
+              | Access.Exact_addr _ | Access.Param_addr _ -> (e + 1, w, u)
+              | Access.Wildcard _ -> (e, w + 1, u)
+              | Access.Unknown -> (e, w, u + 1))
+            (0, 0, 0)
+            (spec_reads @ spec_writes)
+        in
+        if json then begin
+          let entries es =
+            String.concat ", "
+              (List.map (fun e -> Fmt.str "%S" (Fmt.str "%a" Access.pp_entry e)) es)
+          in
+          Fmt.pr "{@.  \"file\": %S,@.  \"functions\": [" file;
+          List.iteri
+            (fun i (name, fs) ->
+              let e, w, u = precision fs in
+              Fmt.pr "%s@.    { \"name\": %S, \"reads\": [%s], \"writes\": \
+                      [%s],@.      \"precision\": { \"exact\": %d, \
+                      \"wildcard\": %d, \"unknown\": %d } }"
+                (if i = 0 then "" else ",")
+                name
+                (entries fs.Access.spec_reads)
+                (entries fs.Access.spec_writes)
+                e w u)
+            specs;
+          Fmt.pr "@.  ]@.}@."
+        end
+        else begin
+          List.iter
+            (fun (name, fs) ->
+              let e, w, u = precision fs in
+              Fmt.pr "%s: %a@.  precision: %d exact, %d wildcard, %d unknown@."
+                name Access.pp_fspec fs e w u)
+            specs;
+          let te, tw, tu =
+            List.fold_left
+              (fun (e, w, u) (_, fs) ->
+                let e', w', u' = precision fs in
+                (e + e', w + w', u + u'))
+              (0, 0, 0) specs
+          in
+          Fmt.pr "total: %d entries — %d exact, %d wildcard, %d unknown@."
+            (te + tw + tu) te tw tu
+        end
+  in
+  let term = Term.(const action $ file $ json_flag) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Infer static access specifications for a MiniMove script \
+          (DESIGN.md §15): per-function read/write specs with precision \
+          statistics.")
+    term
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
   let doc = "Block-STM parallel execution engine (PPOPP'23 reproduction)" in
   let info = Cmd.info "blockstm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sim_cmd; exp_cmd; minimove_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sim_cmd; exp_cmd; minimove_cmd; analyze_cmd ]))

@@ -1,40 +1,106 @@
-(* Workload analysis: profiles blocks to expose their dependency structure —
-   the quantity that bounds any parallel executor. Prints, per workload, the
-   dependency-DAG critical path (inherent parallelism limit), the ideal
-   makespan at several worker counts, and what Block-STM actually achieves
-   under virtual time. This reproduces the paper's observation that with 100
-   accounts Block-STM "does not scale beyond 16 threads, suggesting that 16
-   threads already utilize the inherent parallelism".
+(* Workload analysis: the dependency structure that bounds any parallel
+   executor, derived from STATIC ACCESS SPECS (DESIGN.md §15) and
+   cross-checked against dynamic profiling.
+
+   For each workload the example
+     - builds per-transaction access specs (block-formation data for the
+       OCaml p2p workloads; [Access.infer] over the MiniMove AST for the
+       VM workload) and prints their precision profile (exact vs wildcard
+       vs unknown entries),
+     - derives the RAW dependency DAG from the specs (transaction j depends
+       on every earlier transaction whose declared writes may feed j's
+       declared reads) and compares it against the dynamically profiled
+       DAG — an equal critical path means the specs are not just sound but
+       tight (spec edge counts run higher by construction: every earlier
+       potential writer is an edge, not just the latest, and the extra
+       edges are transitively implied),
+     - prints the ideal DAG makespan at several worker counts next to what
+       Block-STM actually achieves under virtual time, reproducing the
+       paper's observation that with 100 accounts Block-STM "does not scale
+       beyond 16 threads, suggesting that 16 threads already utilize the
+       inherent parallelism".
 
    Run with: dune exec examples/dependency_analysis.exe *)
 
 open Blockstm_workload
+open Blockstm_kernel
 module DS = Blockstm_simexec.Dag_sim
 module CM = Blockstm_simexec.Cost_model
 
-let analyze name (g : Synthetic.generated) =
-  let txns = g.txns in
+(* RAW edges from specs: j depends on i < j iff i's possible writes overlap
+   j's possible reads (writes-vs-writes need no edge for makespan purposes:
+   versions are index-keyed, the later write wins). Conservative entries
+   (wildcard/unknown) overlap widely, so imprecision shows up directly as
+   extra edges. *)
+let spec_deps ~equal ?namespace (specs : _ Access_spec.t array) :
+    int list array =
+  Array.mapi
+    (fun j (sj : _ Access_spec.t) ->
+      let deps = ref [] in
+      for i = j - 1 downto 0 do
+        if
+          Access_spec.lists_overlap ~equal ?namespace specs.(i).writes
+            sj.reads
+        then deps := i :: !deps
+      done;
+      !deps)
+    specs
+
+let n_edges deps = Array.fold_left (fun acc d -> acc + List.length d) 0 deps
+
+let pp_precision ppf specs =
+  let e, w, u =
+    Array.fold_left
+      (fun (e, w, u) s ->
+        let e', w', u' = Access_spec.precision s in
+        (e + e', w + w', u + u'))
+      (0, 0, 0) specs
+  in
+  Fmt.pf ppf "%d entries — %d exact, %d wildcard, %d unknown" (e + w + u) e w
+    u
+
+let analyze name ~equal ?namespace ~storage ~txns ~specs () =
   let n = Array.length txns in
-  let profiles = Harness.Prof.run ~storage:(Ledger.Store.reader g.storage)
-      txns in
+  let profiles = Harness.Prof.run ~storage:(Ledger.Store.reader storage) txns in
   let costs =
     Array.map
       (fun (p : Harness.Prof.txn_profile) ->
         CM.exec_cost CM.default ~reads:p.reads ~writes:p.writes)
       profiles
   in
-  let deps = Array.map (fun (p : Harness.Prof.txn_profile) -> p.deps)
-      profiles in
-  let dag = DS.create ~costs ~deps in
-  let work = Array.fold_left ( +. ) 0.0 costs in
-  let cp = DS.critical_path dag in
-  let n_edges =
-    Array.fold_left (fun acc d -> acc + List.length d) 0 deps
+  let dyn_deps =
+    Array.map (fun (p : Harness.Prof.txn_profile) -> p.deps) profiles
   in
-  Fmt.pr "@.%s: %d txns, %d dependency edges@." name n n_edges;
-  Fmt.pr "  total work %.0fus, critical path %.0fus -> inherent parallelism \
-          %.1fx@."
-    work cp (work /. cp);
+  let sdeps = spec_deps ~equal ?namespace specs in
+  let dyn_dag = DS.create ~costs ~deps:dyn_deps in
+  let spec_dag = DS.create ~costs ~deps:sdeps in
+  let work = Array.fold_left ( +. ) 0.0 costs in
+  let dyn_cp = DS.critical_path dyn_dag in
+  let spec_cp = DS.critical_path spec_dag in
+  Fmt.pr "@.%s: %d txns@." name n;
+  Fmt.pr "  specs: %a@." pp_precision specs;
+  Fmt.pr "  edges: %d dynamic (profiled) vs %d spec-derived@."
+    (n_edges dyn_deps) (n_edges sdeps);
+  Fmt.pr
+    "  total work %.0fus; critical path %.0fus dynamic, %.0fus spec -> \
+     inherent parallelism %.1fx (spec view %.1fx)@."
+    work dyn_cp spec_cp (work /. dyn_cp) (work /. spec_cp)
+
+let scaling name (g : Synthetic.generated) =
+  let txns = g.txns in
+  let n = Array.length txns in
+  let profiles =
+    Harness.Prof.run ~storage:(Ledger.Store.reader g.storage) txns
+  in
+  let costs =
+    Array.map
+      (fun (p : Harness.Prof.txn_profile) ->
+        CM.exec_cost CM.default ~reads:p.reads ~writes:p.writes)
+      profiles
+  in
+  let deps = Array.map (fun (p : Harness.Prof.txn_profile) -> p.deps) profiles in
+  let dag = DS.create ~costs ~deps in
+  Fmt.pr "%s — ideal vs Block-STM:@." name;
   List.iter
     (fun threads ->
       let ideal = DS.makespan dag ~num_threads:threads in
@@ -46,20 +112,40 @@ let analyze name (g : Synthetic.generated) =
         (Blockstm_simexec.Virtual_exec.tps ~txns:n stats))
     [ 4; 16; 32 ]
 
-let p2p accounts : Synthetic.generated =
-  let w =
-    P2p.generate
-      { P2p.default_spec with num_accounts = accounts; block_size = 1000 }
-  in
-  { Synthetic.storage = w.storage; txns = w.txns;
-    declared_writes = w.declared_writes }
+let p2p accounts = P2p.generate { P2p.default_spec with num_accounts = accounts; block_size = 1000 }
 
 let () =
-  analyze "p2p / 100 accounts (the paper's 16-thread saturation case)"
-    (p2p 100);
-  analyze "p2p / 10000 accounts (nearly conflict-free)" (p2p 10_000);
-  analyze "hotspot counter (inherently sequential)"
-    (Synthetic.hotspot ~block_size:300);
-  analyze "zipfian theta=0.99"
+  let ledger w =
+    analyze w ~equal:Ledger.Loc.equal ~namespace:Ledger.Loc.namespace
+  in
+  (* OCaml p2p: specs come from the block-formation data and are all-exact,
+     so the spec DAG should match the profiled one edge for edge. *)
+  let w100 = p2p 100 in
+  ledger "p2p / 100 accounts (the paper's 16-thread saturation case)"
+    ~storage:w100.storage ~txns:w100.txns ~specs:(P2p.txn_specs w100) ();
+  let w10k = p2p 10_000 in
+  ledger "p2p / 10000 accounts (nearly conflict-free)" ~storage:w10k.storage
+    ~txns:w10k.txns ~specs:(P2p.txn_specs w10k) ();
+  let h = P2p.generate_hotspot { P2p.default_hotspot_spec with h_block_size = 300 } in
+  ledger "p2p hotspot / 2 hot accounts (inherently sequential)"
+    ~storage:h.h_storage ~txns:h.h_txns ~specs:(P2p.hotspot_txn_specs h) ();
+  (* MiniMove p2p: specs are INFERRED from the script's AST by the static
+     analysis and specialized per transfer — same precision profile, derived
+     from source code instead of generator bookkeeping. *)
+  let mm = Mm_p2p.generate { Mm_p2p.default_spec with block_size = 300 } in
+  Fmt.pr "@.minimove p2p (specs inferred from the coin contract AST):@.";
+  Fmt.pr "  specs: %a@." pp_precision mm.specs;
+  let mm_deps =
+    spec_deps ~equal:Blockstm_minimove.Mv_value.Loc.equal
+      ~namespace:Blockstm_minimove.Access.namespace mm.specs
+  in
+  Fmt.pr "  spec-derived edges: %d over %d txns@." (n_edges mm_deps)
+    (Array.length mm.txns);
+  (* Thread-scaling of ideal-DAG vs Block-STM, as before the spec rework. *)
+  Fmt.pr "@.";
+  scaling "p2p / 100 accounts"
+    { Synthetic.storage = w100.storage; txns = w100.txns;
+      declared_writes = w100.declared_writes };
+  scaling "zipfian theta=0.99"
     (Synthetic.zipfian ~block_size:1000 ~num_accounts:1000 ~theta:0.99
        ~seed:7)

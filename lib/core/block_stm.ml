@@ -14,6 +14,7 @@
 
 open Blockstm_kernel
 module Scheduler = Blockstm_scheduler.Scheduler
+module Spec_dag = Blockstm_scheduler.Spec_dag
 module Metrics = Blockstm_obs.Metrics
 module Trace = Blockstm_obs.Trace
 
@@ -71,17 +72,22 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     cold_reads : int;
         (** Executions suspended on a cold storage probe (0 unless
             [cold_read_suspend] with a cold-capable probe). *)
+    spec_skips : int;
+        (** Validation tasks short-circuited because the transaction's
+            static access spec is disjoint from every other transaction's
+            (0 unless [specs] were given; DESIGN.md §15). Not counted in
+            [validations]. *)
   }
 
   let pp_metrics ppf m =
     Fmt.pf ppf
       "{ incarnations=%d; dep_aborts=%d; validations=%d; val_aborts=%d; \
        preval_skips=%d; resumed=%d; discarded=%d; commits=%d; targeted=%d; \
-       suffix_avoided=%d; prunes=%d; deltas=%d; cold=%d }"
+       suffix_avoided=%d; prunes=%d; deltas=%d; cold=%d; spec_skips=%d }"
       m.incarnations m.dependency_aborts m.validations m.validation_aborts
       m.prevalidation_skips m.resumptions m.discarded_suspensions m.commits
       m.targeted_validations m.suffix_validations_avoided m.value_prune_hits
-      m.delta_applies m.cold_reads
+      m.delta_applies m.cold_reads m.spec_skips
 
   type config = {
     num_domains : int;  (** Worker domains (>= 1). *)
@@ -160,6 +166,28 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
             the driver calls {!base_sealed} once the predecessor's state is
             final. Requires [rolling_commit]. Default [false]: no behavior
             change anywhere. *)
+    static_specs : bool;
+        (** Seed MVMemory ESTIMATE markers from the exact write entries of
+            the static access specs (DESIGN.md §15) before the first
+            execution, so first incarnations park on predicted conflicts
+            instead of discovering them by aborting — the spec-driven
+            sibling of [prefill_estimates]. Requires [specs] at
+            {!create_instance} and [use_estimates]; transactions whose
+            write spec contains a wildcard or unknown entry are simply not
+            seeded. Default [false]: no behavior change. *)
+    spec_dag : bool;
+        (** Schedule from the static-spec dependency DAG instead of
+            optimistically (DESIGN.md §15): each transaction executes
+            exactly once, after every lower transaction whose declared
+            writes may feed its declared reads — no validation, no
+            re-execution, BOHM-style. Transactions with non-exact specs
+            degrade to order barriers (they wait for everything before
+            them, and everything after waits for them). Requires [specs];
+            incompatible with the optimistic-machinery options
+            ([static_specs], [rolling_commit], [cross_block],
+            [targeted_validation], [suspend_resume], [cold_read_suspend],
+            [delta_ops], [prefill_estimates]). Commits bit-identical state
+            to the optimistic engine. Default [false]. *)
   }
 
   let default_config =
@@ -176,6 +204,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       record_exec_ns = false;
       cold_read_suspend = false;
       cross_block = false;
+      static_specs = false;
+      spec_dag = false;
     }
 
   type 'o result = {
@@ -211,6 +241,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   let stat_value_prune_hits = 9
   let stat_delta_applies = 10
   let stat_cold_reads = 11
+  let stat_spec_skips = 12
 
   let stat_names =
     [|
@@ -226,6 +257,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       "value_prune_hits";
       "delta_applies";
       "cold_reads";
+      "spec_skips";
     |]
 
   type 'o instance = {
@@ -248,6 +280,16 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            [base_sealed], strictly after the final revalidation demand. *)
     mv : Mv.t;
     sched : Scheduler.t;
+    dag : Spec_dag.t option;
+        (* Spec-derived dependency DAG (spec_dag mode): replaces the
+           collaborative scheduler as the task source; [sched] still exists
+           but issues no tasks (its counters stay at their initial state). *)
+    indep : bool array;
+        (* [indep.(j)]: transaction j's static spec is disjoint from every
+           other transaction's, so its reads can never be invalidated — its
+           validation tasks short-circuit to success ([spec_skips]) and, in
+           targeted mode, its reads skip the reader registries. All-false
+           unless [specs] were given (DESIGN.md §15). *)
     cfg : config;
     outputs : 'o txn_output option array;
         (* Slot [j] is written only by the executor of tx_j's incarnations
@@ -336,9 +378,161 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         (** Distinct locations written or delta'd (cost accounting). *)
   }
 
+  (* ---------------------------------------------------------------------- *)
+  (* Static access specs: independence and the dependency DAG (§15)         *)
+  (* ---------------------------------------------------------------------- *)
+
+  (* Total order on spec entries (dedup); Exact entries order by L.compare. *)
+  let entry_cmp (a : L.t Access_spec.entry) (b : L.t Access_spec.entry) : int =
+    match (a, b) with
+    | Access_spec.Exact x, Access_spec.Exact y -> L.compare x y
+    | Access_spec.Exact _, _ -> -1
+    | _, Access_spec.Exact _ -> 1
+    | Access_spec.Wildcard x, Access_spec.Wildcard y -> String.compare x y
+    | Access_spec.Wildcard _, _ -> -1
+    | _, Access_spec.Wildcard _ -> 1
+    | Access_spec.Unknown, Access_spec.Unknown -> 0
+
+  (* Which transactions' specs are disjoint from every other transaction's?
+     Computed with per-location and per-namespace access counts instead of
+     the O(n^2) pairwise test. Transaction j is independent iff its spec is
+     all-Exact and (a) no other transaction may write any location j reads
+     or writes, and (b) no other transaction may read any location j
+     writes. Wildcard/Unknown entries of OTHER transactions count against j
+     through the namespace ([loc_namespace]) or, absent one, against
+     everything — conservative in exactly the direction soundness needs. *)
+  let spec_independence ?loc_namespace (specs : L.t Access_spec.t array) :
+      bool array =
+    let n = Array.length specs in
+    let rd = LTbl.create (4 * n) and wr = LTbl.create (4 * n) in
+    let wild_r = Hashtbl.create 8 and wild_w = Hashtbl.create 8 in
+    let unk_r = ref 0 and unk_w = ref 0 in
+    let bump_loc tbl l =
+      match LTbl.find_opt tbl l with
+      | Some r -> incr r
+      | None -> LTbl.add tbl l (ref 1)
+    in
+    let bump_ns tbl r =
+      match Hashtbl.find_opt tbl r with
+      | Some c -> incr c
+      | None -> Hashtbl.add tbl r (ref 1)
+    in
+    let count tbl l =
+      match LTbl.find_opt tbl l with Some r -> !r | None -> 0
+    in
+    let count_ns tbl r =
+      match Hashtbl.find_opt tbl r with Some c -> !c | None -> 0
+    in
+    (* Count each transaction's distinct entries once, so a transaction's
+       own contribution to a per-location count is exactly 0 or 1. *)
+    let deduped = Array.make n Access_spec.empty in
+    Array.iteri
+      (fun j (s : L.t Access_spec.t) ->
+        let d =
+          {
+            Access_spec.reads = List.sort_uniq entry_cmp s.reads;
+            writes = List.sort_uniq entry_cmp s.writes;
+          }
+        in
+        deduped.(j) <- d;
+        let side unk wild loc_tbl =
+          List.iter (function
+            | Access_spec.Exact l -> bump_loc loc_tbl l
+            | Access_spec.Wildcard r -> bump_ns wild r
+            | Access_spec.Unknown -> incr unk)
+        in
+        side unk_r wild_r rd d.Access_spec.reads;
+        side unk_w wild_w wr d.Access_spec.writes)
+      specs;
+    let total_wild tbl = Hashtbl.fold (fun _ c acc -> acc + !c) tbl 0 in
+    let wild_hits tbl l =
+      (* Wildcard entries of other transactions that may cover [l]. The
+         independent transaction itself is all-Exact, so every wildcard in
+         the tables belongs to another transaction. *)
+      match loc_namespace with
+      | Some ns -> count_ns tbl (ns l)
+      | None -> total_wild tbl
+    in
+    Array.map
+      (fun (s : L.t Access_spec.t) ->
+        Access_spec.all_exact s
+        && !unk_w = 0
+        && (s.Access_spec.writes = [] || !unk_r = 0)
+        && (let mem entries l =
+              List.exists
+                (function
+                  | Access_spec.Exact x -> L.equal x l | _ -> false)
+                entries
+            in
+            List.for_all
+              (fun l ->
+                count wr l - (if mem s.Access_spec.writes l then 1 else 0) = 0
+                && wild_hits wild_w l = 0)
+              (Access_spec.exact_locs s.Access_spec.reads)
+            && List.for_all
+                 (fun l ->
+                   count wr l = 1
+                   && count rd l
+                      - (if mem s.Access_spec.reads l then 1 else 0)
+                      = 0
+                   && wild_hits wild_w l = 0
+                   && wild_hits wild_r l = 0)
+                 (Access_spec.exact_locs s.Access_spec.writes)))
+      deduped
+
+  (* Dependency edges of the spec DAG (spec_dag mode): transaction j waits
+     for EVERY lower transaction whose write spec contains a location j
+     reads — all potential writers, not just the highest, because a sound
+     spec may overdeclare: if the highest declared writer dynamically skips
+     the write, the read falls through to the next lower version, which
+     must therefore also be final. WAW/WAR edges are unnecessary — MVMemory
+     entries are keyed by transaction index, so a read at j only ever
+     observes versions below j and the snapshot takes the highest write per
+     location regardless of arrival order. A transaction with any
+     non-Exact entry becomes an order barrier: it waits for everything
+     since the previous barrier (and the barrier chain covers the rest
+     transitively), and later transactions wait for it. *)
+  let spec_dag_preds (specs : L.t Access_spec.t array) : int list array =
+    let n = Array.length specs in
+    let preds = Array.make n [] in
+    let writers : int list ref LTbl.t = LTbl.create (4 * n) in
+    let last_barrier = ref (-1) in
+    for j = 0 to n - 1 do
+      let s = specs.(j) in
+      let base = if !last_barrier >= 0 then [ !last_barrier ] else [] in
+      if Access_spec.all_exact s then begin
+        let ps = ref base in
+        List.iter
+          (fun l ->
+            match LTbl.find_opt writers l with
+            | Some lst -> ps := List.rev_append !lst !ps
+            | None -> ())
+          (Access_spec.exact_locs s.Access_spec.reads);
+        preds.(j) <- List.sort_uniq compare !ps;
+        List.iter
+          (fun l ->
+            match LTbl.find_opt writers l with
+            | Some lst -> lst := j :: !lst
+            | None -> LTbl.add writers l (ref [ j ]))
+          (Access_spec.exact_locs s.Access_spec.writes)
+      end
+      else begin
+        (* Barrier: wait for everything since the previous barrier. *)
+        let ps = ref base in
+        for i = !last_barrier + 1 to j - 1 do
+          ps := i :: !ps
+        done;
+        preds.(j) <- !ps;
+        last_barrier := j;
+        (* Earlier writers are now covered transitively through j. *)
+        LTbl.reset writers
+      end
+    done;
+    preds
+
   let create_instance ?(config = default_config) ?declared_writes ?trace
-      ?on_commit ?on_flush ?probe ?gen ~storage (txns : 'o txn array) :
-      'o instance =
+      ?on_commit ?on_flush ?probe ?gen ?specs ?loc_namespace ~storage
+      (txns : 'o txn array) : 'o instance =
     let n = Array.length txns in
     if config.num_domains < 1 then
       invalid_arg "Block_stm: num_domains must be >= 1";
@@ -366,6 +560,33 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       invalid_arg "Block_stm: cross_block requires gen";
     if gen <> None && not config.cross_block then
       invalid_arg "Block_stm: gen requires cross_block";
+    (match specs with
+    | Some sp when Array.length sp <> n ->
+        invalid_arg "Block_stm: specs length mismatch"
+    | _ -> ());
+    if config.static_specs && specs = None then
+      invalid_arg "Block_stm: static_specs requires specs";
+    if config.static_specs && not config.use_estimates then
+      invalid_arg "Block_stm: static_specs requires use_estimates";
+    if config.static_specs && config.prefill_estimates then
+      (* Both would seed ESTIMATE markers; pick one source. *)
+      invalid_arg "Block_stm: static_specs conflicts with prefill_estimates";
+    if config.spec_dag then begin
+      if specs = None then invalid_arg "Block_stm: spec_dag requires specs";
+      if
+        config.static_specs || config.prefill_estimates
+        || config.rolling_commit || config.cross_block
+        || config.targeted_validation || config.suspend_resume
+        || config.cold_read_suspend || config.delta_ops
+      then
+        invalid_arg
+          "Block_stm: spec_dag is incompatible with the optimistic-machinery \
+           options (static_specs / prefill_estimates / rolling_commit / \
+           cross_block / targeted_validation / suspend_resume / \
+           cold_read_suspend / delta_ops)";
+      if declared_writes <> None then
+        invalid_arg "Block_stm: spec_dag takes specs, not declared_writes"
+    end;
     let mv =
       Mv.create ~nshards:config.mv_nshards
         ~targeted:config.targeted_validation ~storage ?gen ~block_size:n ()
@@ -378,7 +599,21 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
            if Array.length dw <> n then
              invalid_arg "Block_stm: declared_writes length mismatch";
            Array.iteri (fun j locs -> Mv.prefill_estimates mv j locs) dw);
-    let obs = Metrics.create ~max_domains:(config.num_domains + 1) () in
+    (if config.static_specs then
+       match specs with
+       | None -> assert false (* checked above *)
+       | Some sp ->
+           Array.iteri
+             (fun j s ->
+               match Access_spec.exact_writes s with
+               | Some locs when Array.length locs > 0 ->
+                   Mv.prefill_estimates mv j locs
+               | _ -> ())
+             sp);
+    let obs =
+      (* 13 stat slots + 4 named counters; leave headroom for probes. *)
+      Metrics.create ~max_domains:(config.num_domains + 1) ~max_counters:24 ()
+    in
     {
       txns;
       storage;
@@ -386,6 +621,15 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       gen;
       gate = Atomic.make (not config.cross_block);
       mv;
+      dag =
+        (if config.spec_dag then
+           Some (Spec_dag.create ~preds:(spec_dag_preds (Option.get specs)))
+         else None);
+      indep =
+        (match specs with
+        | Some sp when not config.spec_dag ->
+            spec_independence ?loc_namespace sp
+        | _ -> Array.make n false);
       sched =
         Scheduler.create ~rolling:config.rolling_commit
           ~targeted:config.targeted_validation ~hold:config.cross_block
@@ -479,6 +723,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      while the continuation is parked. *)
   let vm_execute (inst : 'o instance) ~(txn_idx : int) : 'o vm_outcome =
     let txn = inst.txns.(txn_idx) in
+    (* Spec-independent transactions (DESIGN.md §15) skip reader
+       registration in targeted mode: no lower transaction can ever write
+       what they read, so they can never need revalidation. *)
+    let register = not inst.indep.(txn_idx) in
     let sc =
       if inst.cfg.suspend_resume then fresh_scratch ()
       else Domain.DLS.get scratch_key
@@ -535,7 +783,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               Some (V.of_counter (b + c.Delta.net))
           | None ->
               let rec attempt () =
-                match Mv.read inst.mv loc ~txn_idx with
+                match Mv.read ~register inst.mv loc ~txn_idx with
                 | Mv.Read_error { blocking_txn_idx } ->
                     if inst.cfg.suspend_resume then begin
                       (* Suspend here; when resumed, retry this same read. *)
@@ -603,7 +851,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               (* First delta op on this location: materialize the external
                  integer base (same walk the read path does). *)
               let rec ext () =
-                match Mv.read inst.mv loc ~txn_idx with
+                match Mv.read ~register inst.mv loc ~txn_idx with
                 | Mv.Read_error { blocking_txn_idx } ->
                     if inst.cfg.suspend_resume then begin
                       Effect.perform (Blocked_read blocking_txn_idx);
@@ -855,7 +1103,10 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
               (vm_execute inst ~txn_idx, 0)
           | None ->
               let blocked =
-                if inst.cfg.prevalidate_reads && incarnation > 0 then (
+                if
+                  inst.cfg.prevalidate_reads && incarnation > 0
+                  && not inst.indep.(txn_idx)
+                then (
                   match find_read_set_dependency inst ~txn_idx with
                   | Some b ->
                       bump stats stat_preval_skips;
@@ -884,10 +1135,20 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         | Vm_done vm -> P_exec { version; vm; prefix_paid })
     | Scheduler.Validation (version, wave) ->
         let txn_idx = Version.txn_idx version in
-        bump stats stat_validations;
-        let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
-        let valid = Mv.validate_read_set inst.mv txn_idx in
-        P_val { version; wave; valid; reads }
+        if inst.indep.(txn_idx) then begin
+          (* Spec-disjoint transaction (DESIGN.md §15): its static spec
+             proves no other transaction writes anything it read, so the
+             read-set walk is a foregone conclusion — short-circuit it.
+             Counted in [spec_skips], not [validations]. *)
+          bump stats stat_spec_skips;
+          P_val { version; wave; valid = true; reads = 0 }
+        end
+        else begin
+          bump stats stat_validations;
+          let reads = Array.length (Mv.last_read_set inst.mv txn_idx) in
+          let valid = Mv.validate_read_set inst.mv txn_idx in
+          P_val { version; wave; valid; reads }
+        end
 
   let finish_task_s (inst : 'o instance) (stats : local_stats)
       (p : 'o pending) : Scheduler.task option * step_event =
@@ -901,6 +1162,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         bump_by stats stat_delta_applies (Array.length vm.vm_delta_set);
         inst.outputs.(txn_idx) <- Some vm.vm_output;
         let next =
+          match inst.dag with
+          | Some dag ->
+              (* Spec-DAG mode: every predecessor that may write what this
+                 transaction reads has already finished, so the write is
+                 final — publish it and release the successors. No
+                 validation task is ever scheduled. *)
+              ignore
+                (Mv.record ~deltas:vm.vm_delta_set inst.mv version
+                   vm.vm_read_set vm.vm_write_set);
+              Spec_dag.finish_execution dag ~txn_idx
+          | None ->
           if inst.cfg.targeted_validation then begin
             let o =
               Mv.record_targeted ~deltas:vm.vm_delta_set inst.mv version
@@ -981,12 +1253,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         in
         (next, Validated { version; aborted; reads })
 
+  (** Fetch the next task from whichever source drives this instance: the
+      spec DAG in [spec_dag] mode, the collaborative scheduler otherwise. *)
+  let next_task (inst : _ instance) : Scheduler.task option =
+    match inst.dag with
+    | Some dag -> Spec_dag.next_task dag
+    | None -> Scheduler.next_task inst.sched
+
+  (** Whether every transaction has finished under this instance's task
+      source (see {!next_task}). Monotone. *)
+  let is_done (inst : _ instance) : bool =
+    match inst.dag with
+    | Some dag -> Spec_dag.done_ dag
+    | None -> Scheduler.done_ inst.sched
+
   let step_s (inst : _ instance) (stats : local_stats)
       (task : Scheduler.task option) : Scheduler.task option * step_event =
     match task with
     | Some t -> finish_task_s inst stats (start_task_s inst stats t)
     | None -> (
-        match Scheduler.next_task inst.sched with
+        match next_task inst with
         | Some t -> (Some t, Got_task)
         | None -> (None, No_task))
 
@@ -1088,7 +1374,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | None ->
         (* Untraced hot loop: no timestamps, no event plumbing. *)
         let task = ref None in
-        while not (Scheduler.done_ inst.sched) do
+        while not (is_done inst) do
           let task', ev = step_s inst stats !task in
           (match ev with
           | No_task -> Atomic_util.Backoff.once backoff
@@ -1099,7 +1385,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | Some tr ->
         let ring = Trace.ring tr ~worker in
         let task = ref None in
-        while not (Scheduler.done_ inst.sched) do
+        while not (is_done inst) do
           let carried = !task in
           let t0 = Trace.now_ns () in
           let task', ev = step_s inst stats carried in
@@ -1147,6 +1433,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       value_prune_hits = v stat_value_prune_hits;
       delta_applies = v stat_delta_applies;
       cold_reads = v stat_cold_reads;
+      spec_skips = v stat_spec_skips;
     }
 
   let sched (inst : _ instance) : Scheduler.t = inst.sched
@@ -1215,11 +1502,12 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   (** Execute a block. [storage] is the pre-block state; [txns] the block in
       its preset serialization order. Spawns [config.num_domains - 1] extra
       domains and participates with the calling domain. *)
-  let run ?(config = default_config) ?declared_writes ?trace ?on_commit
-      ?on_flush ?probe ~storage (txns : 'o txn array) : 'o result =
+  let run ?(config = default_config) ?declared_writes ?specs ?loc_namespace
+      ?trace ?on_commit ?on_flush ?probe ~storage (txns : 'o txn array) :
+      'o result =
     let inst =
-      create_instance ~config ?declared_writes ?trace ?on_commit ?on_flush
-        ?probe ~storage txns
+      create_instance ~config ?declared_writes ?specs ?loc_namespace ?trace
+        ?on_commit ?on_flush ?probe ~storage txns
     in
     if Array.length txns = 0 then
       {

@@ -71,6 +71,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     cold_reads : int;
         (** Executions suspended on a cold storage probe (0 unless
             [cold_read_suspend] with a cold-capable [probe]). *)
+    spec_skips : int;
+        (** Validation tasks short-circuited because the transaction's
+            static access spec proves it disjoint from every other
+            transaction in the block (0 unless [specs] was supplied). Not
+            counted in [validations]. *)
   }
 
   val pp_metrics : Format.formatter -> metrics -> unit
@@ -147,6 +152,26 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
             gated shut, and the scheduler completion is held — all until the
             driver calls {!base_sealed}. Requires [rolling_commit]. Default
             [false]: no behavior change anywhere. *)
+    static_specs : bool;
+        (** Static access specifications, estimate seeding (DESIGN.md §15):
+            seed MVMemory with ESTIMATE markers from each transaction's
+            {e exact} declared writes (specs whose write entries are all
+            [Access_spec.Exact]) before the first incarnation runs, so even
+            first executions wait on likely conflicts — the spec-driven
+            analogue of [prefill_estimates] (with which it conflicts).
+            Requires [specs] and [use_estimates]. Default [false]. *)
+    spec_dag : bool;
+        (** Dependency-DAG scheduling from static access specs (DESIGN.md
+            §15): instead of optimistic execution + validation, build a
+            dependency DAG from the supplied [specs] (transaction [j] waits
+            on every lower transaction whose declared writes may feed [j]'s
+            declared reads; transactions with non-exact specs act as
+            barriers) and execute each transaction exactly once in DAG
+            order. No validation tasks, no aborts, no re-execution.
+            Requires [specs]; incompatible with [static_specs],
+            [prefill_estimates], [rolling_commit], [cross_block],
+            [targeted_validation], [suspend_resume], [cold_read_suspend]
+            and [delta_ops]. Default [false]. *)
   }
 
   val default_config : config
@@ -178,6 +203,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
     ?on_flush:((L.t * V.t) array -> unit) ->
     ?probe:(L.t, V.t) Intf.storage_nb ->
     ?gen:(L.t -> int) ->
+    ?specs:L.t Access_spec.t array ->
+    ?loc_namespace:(L.t -> string) ->
     storage:(L.t, V.t) Intf.storage ->
     'o txn array ->
     'o instance
@@ -202,12 +229,38 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
       when given, replaces [storage] in the VM's fall-through reads —
       [storage] itself must agree with it, and still serves MVMemory's
       committed delta folds).
-      @raise Invalid_argument on bad [config] / [declared_writes] / [trace] /
-      [on_commit] / [on_flush] combinations. *)
+      [specs] (one per transaction) are static access specifications
+      (DESIGN.md §15): sound over-approximations of each transaction's
+      dynamic read and write sets. Supplying them opts into spec-driven
+      independence skipping — transactions whose specs are all-[Exact] and
+      provably disjoint from every other transaction's spec skip the
+      validation read-set walk (counted in [metrics.spec_skips]) and, under
+      [targeted_validation], skip reader registration. They also feed
+      [config.static_specs] (estimate seeding) and [config.spec_dag]
+      (dependency-DAG scheduling). A spec that under-declares an access is
+      {b unsound} and voids the determinism guarantee. [loc_namespace]
+      assigns each location the namespace string matched by
+      [Access_spec.Wildcard] entries; when omitted, wildcards conservatively
+      overlap every location.
+      @raise Invalid_argument on bad [config] / [declared_writes] / [specs] /
+      [trace] / [on_commit] / [on_flush] combinations. *)
 
   val sched : 'o instance -> Scheduler.t
   (** The collaborative scheduler driving this instance — exposed for the
-      virtual-time simulator and tests. *)
+      virtual-time simulator and tests. In [spec_dag] mode the scheduler
+      exists but is inert; drive the instance through {!next_task} /
+      {!is_done} instead of the scheduler's own entry points. *)
+
+  val next_task : 'o instance -> Scheduler.task option
+  (** Fetch the next task from whichever source drives this instance: the
+      spec dependency DAG in [config.spec_dag] mode, the collaborative
+      scheduler otherwise. External drivers should call this (rather than
+      {!Scheduler.next_task} on {!sched}) so they remain correct in every
+      mode. [None] does not imply completion; poll {!is_done}. *)
+
+  val is_done : 'o instance -> bool
+  (** Whether every transaction has finished under this instance's task
+      source (see {!next_task}). Monotone. *)
 
   val metrics_registry : 'o instance -> Metrics.t
   (** The live metrics registry: counters ["incarnations"],
@@ -316,6 +369,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   val run :
     ?config:config ->
     ?declared_writes:L.t array array ->
+    ?specs:L.t Access_spec.t array ->
+    ?loc_namespace:(L.t -> string) ->
     ?trace:Trace.t ->
     ?on_commit:(int -> 'o txn_output -> unit) ->
     ?on_flush:((L.t * V.t) array -> unit) ->

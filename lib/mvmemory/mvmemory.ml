@@ -457,10 +457,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
      (and a storage-miss read still materializes the slot so a later first
      write finds its readers). A writer publishes its mutation and only then
      collects the registry, so every reader either appears in the collection
-     or loaded its snapshot after the mutation — no invalidation is missed. *)
-  let read t (loc : L.t) ~(txn_idx : int) : read_result =
+     or loaded its snapshot after the mutation — no invalidation is missed.
+     [register=false] (static-spec independence, DESIGN.md §15) skips that
+     registration: sound only when the caller proves no lower transaction
+     can ever write this location, so the reader can never need
+     revalidation. *)
+  let read ?(register = true) t (loc : L.t) ~(txn_idx : int) : read_result =
     let slot =
-      if t.targeted && txn_idx < t.block_size then
+      if t.targeted && register && txn_idx < t.block_size then
         Some (find_or_create_slot t loc)
       else find_slot t loc
     in
@@ -468,7 +472,8 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
     | None -> Not_found
     | Some s -> (
         (match s.readers with
-        | Some reg when txn_idx < t.block_size -> reg_register t reg txn_idx
+        | Some reg when register && txn_idx < t.block_size ->
+            reg_register t reg txn_idx
         | _ -> ());
         let ({ versions; base } as snap) = Atomic.get s.cell in
         match IMap.find_last_opt (fun idx -> idx < txn_idx) versions with

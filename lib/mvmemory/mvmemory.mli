@@ -116,14 +116,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) : sig
   val targeted : t -> bool
   (** Whether this instance was created with [~targeted:true]. *)
 
-  val read : t -> L.t -> txn_idx:int -> read_result
+  val read : ?register:bool -> t -> L.t -> txn_idx:int -> read_result
   (** Algorithm 3, [read]: the entry written by the highest transaction
       index below [txn_idx]. A chain topped by delta entries folds their
       nets onto the anchoring plain write and answers {!Merged}; an
       [ESTIMATE] anywhere in the folded span is a {!Read_error} dependency.
       In targeted mode, additionally registers [txn_idx] in the location's
       reader registry (snapshot reads at [txn_idx = block_size] are not
-      registered). *)
+      registered). [register] (default [true]) set to [false] skips that
+      registration — sound only when the caller proves no lower transaction
+      can ever write this location (static-spec independence, DESIGN.md
+      §15); no effect outside targeted mode. *)
 
   val apply_write_set :
     t -> txn_idx:int -> incarnation:int -> write_set -> unit

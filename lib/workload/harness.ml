@@ -33,11 +33,13 @@ let equal_outputs (a : int Blockstm_kernel.Txn.output array)
   Array.length a = Array.length b
   && Array.for_all2 (Blockstm_kernel.Txn.equal_output Int.equal) a b
 
-(** Run Block-STM on [num_domains] real domains. *)
-let run_blockstm ?(config = Bstm.default_config) ?declared_writes ?trace
-    ?on_commit ~storage txns =
-  Bstm.run ~config ?declared_writes ?trace ?on_commit
-    ~storage:(Store.reader storage) txns
+(** Run Block-STM on [num_domains] real domains. [specs] opts into static
+    access-specification modes (DESIGN.md §15); wildcards resolve against
+    {!Ledger.Loc.namespace}. *)
+let run_blockstm ?(config = Bstm.default_config) ?declared_writes ?specs
+    ?trace ?on_commit ~storage txns =
+  Bstm.run ~config ?declared_writes ?specs ~loc_namespace:Loc.namespace
+    ?trace ?on_commit ~storage:(Store.reader storage) txns
 
 (** Run Block-STM over cold two-tier storage: every location starts cold and
     a miss costs [cold_ns] of simulated latency. Returns the result plus the
@@ -101,23 +103,23 @@ let tps_of_makespan ~txns makespan_us =
 (** Run Block-STM under virtual time with [num_threads] virtual threads.
     Returns the block result (checked-able against sequential) and the
     simulator stats. *)
-let sim_blockstm ?(config = Bstm.default_config) ?declared_writes
+let sim_blockstm ?(config = Bstm.default_config) ?declared_writes ?specs
     ?(cost = Cost_model.default) ~num_threads ~storage txns :
     int Bstm.result * Virtual_exec.stats =
   let config = { config with Bstm.num_domains = 1 } in
   let inst =
-    Bstm.create_instance ~config ?declared_writes
-      ~storage:(Store.reader storage) txns
+    Bstm.create_instance ~config ?declared_writes ?specs
+      ~loc_namespace:Loc.namespace ~storage:(Store.reader storage) txns
   in
   let engine =
     {
       Virtual_exec.start = Bstm.start_task inst;
       finish = Bstm.finish_task inst;
       profile = Bstm.pending_profile;
-      next_task =
-        (fun () -> Blockstm_core.Block_stm.Scheduler.next_task (Bstm.sched inst));
-      is_done =
-        (fun () -> Blockstm_core.Block_stm.Scheduler.done_ (Bstm.sched inst));
+      (* Route through the instance-level wrappers, not the scheduler
+         directly, so spec-DAG instances simulate correctly too. *)
+      next_task = (fun () -> Bstm.next_task inst);
+      is_done = (fun () -> Bstm.is_done inst);
     }
   in
   let stats = Virtual_exec.run ~num_threads ~cost engine in

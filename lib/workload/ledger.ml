@@ -72,6 +72,12 @@ module Loc = struct
     | Global g -> Fmt.pf ppf "global/%d" g
     | Account { acct; field } ->
         Fmt.pf ppf "acct/%d/%s" acct (field_name field)
+
+  (** Namespace string matched by [Access_spec.Wildcard] entries
+      (DESIGN.md §15): the resource kind, ignoring the account. *)
+  let namespace = function
+    | Global _ -> "global"
+    | Account { field; _ } -> field_name field
 end
 
 (* --- Values -------------------------------------------------------------- *)

@@ -47,6 +47,11 @@ type t = {
   script : Runtime.script;
   txns : (Loc.t, Value.t, Value.t) Blockstm_kernel.Txn.t array;
   transfers : P2p.transfer array;
+  specs : Loc.t Blockstm_kernel.Access_spec.t array;
+      (** Per-transaction static access specs, inferred from the script's
+          AST by {!Access.infer} and specialized to each transfer's
+          arguments (DESIGN.md §15). Sound over-approximations of the
+          dynamic read/write sets. *)
 }
 
 let source_of_flavor = function
@@ -91,4 +96,23 @@ let generate (spec : spec) : t =
       transfers
   in
   let storage = Runtime.coin_genesis ~num_accounts:spec.num_accounts () in
-  { spec; storage; script; txns; transfers }
+  let specs =
+    (* One inference pass over the source; specialization per transfer is a
+       cheap substitution of address arguments into [Param_addr] entries. *)
+    let prog = Parser.parse (source_of_flavor spec.flavor) in
+    match Access.infer_func prog "main" with
+    | None -> invalid_arg "Mm_p2p.generate: script has no main function"
+    | Some fspec ->
+        Array.map
+          (fun { P2p.sender; recipient; amount; exp_seqno } ->
+            Access.specialize fspec
+              ~args:
+                [
+                  Value.Addr sender;
+                  Value.Addr recipient;
+                  Value.Int amount;
+                  Value.Int exp_seqno;
+                ])
+          transfers
+  in
+  { spec; storage; script; txns; transfers; specs }

@@ -134,6 +134,42 @@ let simplified_txn ~work { sender; recipient; amount; exp_seqno } :
 let txn_writes { sender; recipient; _ } =
   [| balance sender; seqno sender; balance recipient; seqno recipient |]
 
+(** Static access specification of one transfer (DESIGN.md §15): the p2p
+    scripts touch exactly the two accounts' fields plus read-only config
+    entries, all known at block-formation time, so every entry is [Exact] —
+    transfers over disjoint account pairs are provably independent. *)
+let txn_spec (flavor : flavor) { sender; recipient; _ } :
+    Loc.t Access_spec.t =
+  let e l = Access_spec.Exact l in
+  let globals n = List.init n (fun g -> e (global g)) in
+  let reads =
+    match flavor with
+    | Standard ->
+        globals 13
+        @ [
+            e (frozen sender); e (auth_key sender); e (seqno sender);
+            e (balance sender); e (exists recipient); e (frozen recipient);
+            e (balance recipient); e (seqno recipient);
+          ]
+    | Simplified ->
+        globals 6
+        @ [
+            e (frozen sender); e (seqno sender); e (balance sender);
+            e (frozen recipient); e (balance recipient); e (seqno recipient);
+          ]
+  in
+  {
+    Access_spec.reads;
+    writes =
+      [
+        e (balance sender); e (seqno sender); e (balance recipient);
+        e (seqno recipient);
+      ];
+  }
+
+let txn_specs (t : t) : Loc.t Access_spec.t array =
+  Array.map (txn_spec t.spec.flavor) t.transfers
+
 (* --- Hotspot flavor: commutative payments into few hot accounts --------- *)
 
 (* The hotspot script models fee sinks / bridge vaults / popular AMM pools:
@@ -199,6 +235,21 @@ let hotspot_txn ~work { sender; recipient; amount; exp_seqno } :
 
 let hotspot_txn_writes { sender; recipient; _ } =
   [| balance sender; seqno sender; balance recipient |]
+
+(** Hotspot analogue of {!txn_spec}. The balance deltas are declared
+    read+write — sound for both delta routes the engine may take (the
+    read-modify-write fallback and the delta-entry publication). *)
+let hotspot_txn_spec { sender; recipient; _ } : Loc.t Access_spec.t =
+  let e l = Access_spec.Exact l in
+  {
+    Access_spec.reads =
+      List.init 6 (fun g -> e (global g))
+      @ [ e (seqno sender); e (balance sender); e (balance recipient) ];
+    writes = [ e (seqno sender); e (balance sender); e (balance recipient) ];
+  }
+
+let hotspot_txn_specs (h : hotspot) : Loc.t Access_spec.t array =
+  Array.map hotspot_txn_spec h.h_transfers
 
 let generate_hotspot (spec : hotspot_spec) : hotspot =
   if spec.h_hot_accounts < 1 then

@@ -23,4 +23,5 @@ let () =
       ("delta", Test_delta.suite);
       ("properties", Test_props.suite);
       ("vm_diff", Test_vm_diff.suite);
+      ("access", Test_access.suite);
     ]

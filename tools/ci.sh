@@ -237,4 +237,34 @@ else
   echo "ci: sustained gate report-only on $cores core(s): per-block $sus_pb tps, pipelined $sus_pl tps; roots all ok"
 fi
 
+# --- Spec-skip smoke --------------------------------------------------------
+# Static access specs (DESIGN.md §15): on a large-account p2p block most
+# transactions are pairwise-independent, so --specs must actually skip
+# validation work — spec_skips > 0 and strictly fewer validations than the
+# optimistic run of the same block. Deterministic in the skip/seeding
+# direction (independence is computed statically), so this gates on any
+# host. --verify additionally checks committed state against sequential.
+spec_run() {
+  dune exec bin/blockstm_cli.exe -- run -w p2p -a 10000 -b 1000 -d 4 \
+    --seed 42 --verify "$@" | tr ';' '\n'
+}
+sopt=$(spec_run | sed -n 's/^.*[{ ]validations=//p' | head -n1)
+sspec_out=$(spec_run --specs)
+sspec=$(printf '%s\n' "$sspec_out" | sed -n 's/^.*[{ ]validations=//p' | head -n1)
+sskips=$(printf '%s\n' "$sspec_out" | sed -n 's/^.*[{ ]spec_skips=//p' \
+  | tr -cd '0-9\n' | head -n1)
+if [ -z "$sopt" ] || [ -z "$sspec" ] || [ -z "$sskips" ]; then
+  echo "ci: FAIL — could not parse validations=/spec_skips= from the CLI metrics line"
+  exit 1
+fi
+if [ "$sskips" -le 0 ]; then
+  echo "ci: FAIL — --specs reported spec_skips=$sskips on the independent p2p workload (expected > 0)"
+  exit 1
+fi
+if [ "$sspec" -ge "$sopt" ]; then
+  echo "ci: FAIL — --specs ran $sspec validations, not below the optimistic run's $sopt"
+  exit 1
+fi
+echo "ci: spec-skip gate passed ($sskips validations skipped; $sspec validations < optimistic's $sopt)"
+
 echo "ci: all checks passed"
