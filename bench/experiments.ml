@@ -350,6 +350,14 @@ let ablations _mode =
        ~threads w block);
   Report.emit_table t
 
+(* Domain counts swept by the real-domain experiments ([scaling] and the
+   gas-sharding wall-clock table). Overridable (bench --domains / blockstm
+   exp --domains / BLOCKSTM_BENCH_DOMAINS) so a multi-core host can sweep
+   further than this machine's default. *)
+let domains_grid = ref [ 1; 2; 4 ]
+
+let set_domains_grid = function [] -> () | l -> domains_grid := l
+
 (* --- Gas sharding (§7): a single gas location makes any block sequential -- *)
 
 let gas_sharding _mode =
@@ -382,6 +390,280 @@ let gas_sharding _mode =
             ])
         [ 8; 32 ])
     [ 1; 2; 4; 8; 16; 32 ];
+  Report.emit_table t;
+  (* Real-domain companion (wall clock, report-only): the same single-vs-
+     sharded gas counter measured on actual domains of this machine, plus
+     the sharded block routed through execution lanes (§16) — the gas
+     shards are exactly lane-partitionable. Thread scaling is bounded by
+     the physical core count; the virtual-time table above carries the
+     shape. *)
+  let rt =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Gas metering (§7): real-domain wall clock on this machine \
+            (block %d)"
+           block)
+      ~header:[ "executor"; "shards"; "domains"; "tps (wall clock)" ]
+  in
+  let time ~label f =
+    best_of ~label 3 (fun () ->
+        let _, ns = Blockstm_stats.Clock.time_ns f in
+        Blockstm_stats.Clock.tps ~txns:block ~elapsed_ns:ns)
+  in
+  List.iter
+    (fun shards ->
+      let g = Synthetic.gas ~block_size:block ~shards ~seed:42 in
+      let seq =
+        time
+          ~label:(Printf.sprintf "gas_sharding/real/seq/shards=%d" shards)
+          (fun () ->
+            ignore (Harness.run_sequential ~storage:g.storage g.txns))
+      in
+      T.add_row rt [ "Sequential"; string_of_int shards; "1"; fmt_tps seq ];
+      List.iter
+        (fun domains ->
+          let tps =
+            time
+              ~label:
+                (Printf.sprintf
+                   "gas_sharding/real/bstm/shards=%d/domains=%d" shards
+                   domains)
+              (fun () ->
+                ignore
+                  (Harness.run_blockstm
+                     ~config:
+                       {
+                         Harness.Bstm.default_config with
+                         num_domains = domains;
+                       }
+                     ~storage:g.storage g.txns))
+          in
+          T.add_row rt
+            [
+              "Block-STM";
+              string_of_int shards;
+              string_of_int domains;
+              fmt_tps tps;
+            ];
+          if shards > 1 then begin
+            let lanes = min 4 shards in
+            let partition =
+              {
+                Harness.LanesX.lanes;
+                loc_lane =
+                  Synthetic.gas_lane ~block_size:block ~shards ~lanes;
+              }
+            in
+            let specs = Synthetic.gas_specs ~block_size:block ~shards in
+            let tps =
+              time
+                ~label:
+                  (Printf.sprintf
+                     "gas_sharding/real/lanes=%d/shards=%d/domains=%d" lanes
+                     shards domains)
+                (fun () ->
+                  ignore
+                    (Harness.run_lanes
+                       ~config:
+                         {
+                           Harness.Bstm.default_config with
+                           num_domains = domains;
+                         }
+                       ~partition ~specs ~storage:g.storage g.txns))
+            in
+            T.add_row rt
+              [
+                Printf.sprintf "Lanes (%d)" lanes;
+                string_of_int shards;
+                string_of_int domains;
+                fmt_tps tps;
+              ]
+          end)
+        !domains_grid)
+    [ 1; 8 ];
+  Report.emit_table rt
+
+(* --- Lane scaling (§16): sharded execution lanes --------------------------- *)
+
+(* Lane counts swept by [lane-scaling]; empty = pick per mode. Overridable
+   (bench --lanes / blockstm bench --lanes / BLOCKSTM_BENCH_LANES). *)
+let lanes_grid = ref []
+let set_lanes_grid = function [] -> () | l -> lanes_grid := l
+
+(* Cross-lane transfer fractions swept on the laned p2p workload. *)
+let lane_cross_grid = ref [ 0.0; 0.05; 0.2 ]
+let set_lane_cross_grid = function [] -> () | l -> lane_cross_grid := l
+
+(* One grid cell: run the block through the single-instance engine and
+   through [lanes] lane instances under the coordinator (both in virtual
+   time), assert the committed snapshot and outputs bit-identical, and
+   report throughput plus the coordinator counters. The identity assert at
+   every cell is the same gate tools/ci.sh sweeps. *)
+let lane_scaling_point t ~workload ~block ~lanes ~threads ~partition ~specs
+    ~storage ~txns =
+  let single_r, single_s =
+    Harness.sim_blockstm ~num_threads:threads ~storage txns
+  in
+  let single_tps = VE.tps ~txns:block single_s in
+  let s =
+    Harness.sim_lanes ~num_threads:threads ~partition ~specs ~storage txns
+  in
+  if
+    not
+      (Harness.equal_snapshot single_r.Harness.Bstm.snapshot
+         s.Harness.sl_snapshot)
+  then
+    Fmt.failwith
+      "lane-scaling: snapshot diverged from single instance (%s, lanes=%d, \
+       threads=%d)"
+      workload lanes threads;
+  if
+    not
+      (Harness.equal_outputs single_r.Harness.Bstm.outputs
+         s.Harness.sl_outputs)
+  then
+    Fmt.failwith
+      "lane-scaling: outputs diverged from single instance (%s, lanes=%d, \
+       threads=%d)"
+      workload lanes threads;
+  let tps =
+    if s.Harness.sl_makespan_us <= 0. then infinity
+    else float_of_int block /. (s.Harness.sl_makespan_us /. 1e6)
+  in
+  let speedup = tps /. single_tps in
+  Report.sample
+    ~label:
+      (Printf.sprintf "lane_scaling/%s/lanes=%d/threads=%d/tps" workload
+         lanes threads)
+    tps;
+  Report.sample
+    ~label:
+      (Printf.sprintf "lane_scaling/%s/lanes=%d/threads=%d/speedup" workload
+         lanes threads)
+    speedup;
+  T.add_row t
+    [
+      workload;
+      string_of_int lanes;
+      string_of_int threads;
+      fmt_tps tps;
+      fmt_x speedup;
+      string_of_int s.Harness.sl_batches;
+      string_of_int s.Harness.sl_cross_lane_txns;
+      Printf.sprintf "%.2f" s.Harness.sl_imbalance;
+    ]
+
+let lane_scaling mode =
+  let block = 1_000 in
+  let lanes_list =
+    if !lanes_grid <> [] then !lanes_grid
+    else match mode with Quick -> [ 1; 2; 4; 8 ] | Full -> [ 1; 2; 4; 8; 16 ]
+  in
+  let thread_grid =
+    match mode with Quick -> [ 4; 8 ] | Full -> [ 1; 2; 4; 8; 16; 32 ]
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "Lane scaling (§16): K lane instances + coordinator vs one \
+            engine instance (block %d, virtual time; speedup vs \
+            single-instance at the same thread count)"
+           block)
+      ~header:
+        [
+          "workload";
+          "lanes";
+          "threads";
+          "tps";
+          "speedup";
+          "batches";
+          "cross-txns";
+          "imbalance";
+        ]
+  in
+  (* Sharded gas (§7): with lanes dividing the shards every transaction is
+     single-lane and each lane is an independent sequential chain — the
+     lane-partitionable regime where the coordinator should recover the
+     sharding speedup that a single optimistic instance burns on aborts. *)
+  let shards = 8 in
+  let g = Synthetic.gas ~block_size:block ~shards ~seed:42 in
+  let gas_specs = Synthetic.gas_specs ~block_size:block ~shards in
+  List.iter
+    (fun lanes ->
+      let partition =
+        {
+          Harness.LanesX.lanes;
+          loc_lane = Synthetic.gas_lane ~block_size:block ~shards ~lanes;
+        }
+      in
+      List.iter
+        (fun threads ->
+          lane_scaling_point t ~workload:"gas" ~block ~lanes ~threads
+            ~partition ~specs:gas_specs ~storage:g.Synthetic.storage
+            ~txns:g.Synthetic.txns)
+        thread_grid)
+    (List.filter (fun l -> l <= shards) lanes_list);
+  (* Contended-but-partitionable p2p: 16 accounts total, so every lane is a
+     hot cluster of two accounts. A single optimistic instance burns most
+     of its parallelism on aborts and re-executions here; lanes turn the
+     same block into K independent hot clusters with no cross-instance
+     conflicts — the headline regime (paper §4.1 high contention, ISSUE
+     10's >= 1.5x gate at 8 threads). *)
+  let hot_accounts = 16 in
+  List.iter
+    (fun lanes ->
+      let spec =
+        {
+          (p2p_spec ~flavor:P2p.Standard ~accounts:hot_accounts ~block
+             ~seed:42)
+          with
+          P2p.lanes_hint = max lanes 1;
+        }
+      in
+      let w = P2p.generate spec in
+      let partition =
+        Harness.account_partition ~num_accounts:hot_accounts ~lanes
+      in
+      List.iter
+        (fun threads ->
+          lane_scaling_point t ~workload:"p2p-hot" ~block ~lanes ~threads
+            ~partition ~specs:(P2p.txn_specs w) ~storage:w.P2p.storage
+            ~txns:w.P2p.txns)
+        thread_grid)
+    lanes_list;
+  (* Laned p2p: account-range partition, sweeping how many transfers
+     deliberately straddle lanes (coordinator overhead as cross-lane
+     traffic grows). *)
+  let accounts = 1_000 in
+  List.iter
+    (fun cross_fraction ->
+      let workload =
+        Printf.sprintf "p2p/cross=%d%%"
+          (int_of_float (Float.round (100. *. cross_fraction)))
+      in
+      List.iter
+        (fun lanes ->
+          let spec =
+            {
+              (p2p_spec ~flavor:P2p.Standard ~accounts ~block ~seed:42) with
+              P2p.lanes_hint = max lanes 1;
+              cross_fraction = (if lanes > 1 then cross_fraction else 0.);
+            }
+          in
+          let w = P2p.generate spec in
+          let partition =
+            Harness.account_partition ~num_accounts:accounts ~lanes
+          in
+          List.iter
+            (fun threads ->
+              lane_scaling_point t ~workload ~block ~lanes ~threads
+                ~partition ~specs:(P2p.txn_specs w) ~storage:w.P2p.storage
+                ~txns:w.P2p.txns)
+            thread_grid)
+        lanes_list)
+    !lane_cross_grid;
   Report.emit_table t
 
 (* --- Real-machine measurements (wall clock, actual domains) ---------------- *)
@@ -428,13 +710,6 @@ let real mode =
   Report.emit_table t
 
 (* --- Scaling: real-domain throughput curve (regression surface) ------------ *)
-
-(* Domain counts swept by the [scaling] experiment. Overridable (bench
-   --domains / blockstm exp --domains / BLOCKSTM_BENCH_DOMAINS) so a
-   multi-core host can sweep further than this machine's default. *)
-let domains_grid = ref [ 1; 2; 4 ]
-
-let set_domains_grid = function [] -> () | l -> domains_grid := l
 
 (** The domains-vs-tps curve on real domains, low contention: the workloads
     where Block-STM should scale near-linearly (paper Fig. 3, 10k accounts).
@@ -1514,6 +1789,7 @@ let all : (string * string * (mode -> unit)) list =
     ("aborts", "Abort-rate analysis vs contention", aborts);
     ("ablations", "Design-choice ablations", ablations);
     ("gas-sharding", "Gas metering: single vs sharded counter (§7)", gas_sharding);
+    ("lane-scaling", "Sharded execution lanes vs single instance (§16)", lane_scaling);
     ("real", "Real-domain wall-clock on this machine", real);
     ("scaling", "Real-domain scaling curve, low contention", scaling);
     ("commit-latency", "Rolling commit: time-to-commit percentiles", commit_latency);

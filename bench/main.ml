@@ -9,6 +9,8 @@
                                               # also write a JSON report
      dune exec bench/main.exe -- scaling --domains 1,2,4,8
                                               # sweep real domain counts
+     dune exec bench/main.exe -- lane-scaling --lanes 1,2,4,8
+                                              # sweep execution-lane counts
      dune exec bench/main.exe -- sustained --mempool-rate 5000 \
          --block-size 1000 --block-deadline-ms 50 --speculate
                                               # continuous-pipeline knobs
@@ -53,6 +55,12 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip_json rest
+    | [ "--lanes" ] ->
+        prerr_endline "--lanes needs a comma-separated list argument";
+        exit 2
+    | "--lanes" :: spec :: rest ->
+        Blockstm_bench.Experiments.set_lanes_grid (parse_domains spec);
+        strip_json rest
     | [ "--domains" ] ->
         prerr_endline "--domains needs a comma-separated list argument";
         exit 2
@@ -81,6 +89,10 @@ let () =
   (match Sys.getenv_opt "BLOCKSTM_BENCH_DOMAINS" with
   | Some spec ->
       Blockstm_bench.Experiments.set_domains_grid (parse_domains spec)
+  | None -> ());
+  (match Sys.getenv_opt "BLOCKSTM_BENCH_LANES" with
+  | Some spec ->
+      Blockstm_bench.Experiments.set_lanes_grid (parse_domains spec)
   | None -> ());
   let args = strip_json args in
   let mode =

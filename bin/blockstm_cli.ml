@@ -90,7 +90,7 @@ let theta_arg =
 (* [generated, declared write-sets (for BOHM), static access specs
    (DESIGN.md §15 — p2p flavors only, where the block-formation data pins
    every access)]. *)
-let build_workload kind ~accounts ~block ~seed ~theta :
+let build_workload ?(lanes_hint = 1) kind ~accounts ~block ~seed ~theta :
     Synthetic.generated
     * Ledger.Loc.t array array option
     * Ledger.Loc.t Blockstm_kernel.Access_spec.t array option =
@@ -107,6 +107,7 @@ let build_workload kind ~accounts ~block ~seed ~theta :
             num_accounts = accounts;
             block_size = block;
             seed;
+            lanes_hint;
           }
       in
       ( { Synthetic.storage = w.storage; txns = w.txns;
@@ -326,6 +327,53 @@ let run_cmd =
              once, no validation or re-execution; requires a spec-capable \
              workload, see $(b,--specs)).")
   in
+  let lanes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "lanes" ] ~docv:"K"
+          ~doc:
+            "Sharded execution lanes (DESIGN.md §16): partition the account \
+             range into K lanes and run K independent engine instances \
+             under the cross-lane coordinator, splitting $(b,--domains) \
+             across them. K=1 (default) is the unmodified single-instance \
+             engine. Blockstm executor only; requires a spec-capable \
+             workload (p2p, p2p-simplified, p2p-hotspot).")
+  in
+  let lane_mode_arg =
+    let mode_conv =
+      let parse = function
+        | "park" -> Ok Harness.LanesX.Park
+        | "barrier" -> Ok Harness.LanesX.Barrier
+        | s ->
+            Error (`Msg (Printf.sprintf "unknown lane mode %S (park|barrier)" s))
+      in
+      let print ppf m =
+        Fmt.string ppf
+          (match m with Harness.LanesX.Park -> "park" | Barrier -> "barrier")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt mode_conv Harness.LanesX.Park
+      & info [ "lane-mode" ] ~docv:"MODE"
+          ~doc:
+            "Cross-lane coordination for $(b,--lanes): $(b,park) (greedy \
+             batches, cross-lane transactions deferred to the batch tail — \
+             the default) or $(b,barrier) (close a batch at every \
+             cross-lane transaction).")
+  in
+  let lane_hint_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "lane-hint" ] ~docv:"K"
+          ~doc:
+            "Lane-aware block formation (p2p flavors): draw each transfer's \
+             account pair inside one of K account-range lanes, the way a \
+             lane-aware block builder would. 0 (default) keeps the generic \
+             uniform draw. Independent of $(b,--lanes) — hint without \
+             lanes shows the single instance on a partitionable block.")
+  in
   let run_pipeline g config executor store n_blocks n =
     let module C = Harness.ChainX in
     let executor =
@@ -372,9 +420,45 @@ let run_cmd =
   in
   let action workload accounts block seed theta executor domains suspend
       no_estimates rolling targeted deltas pipeline blocks store cold_ns
-      verify trace_out use_specs sched =
+      verify trace_out use_specs sched lanes lane_mode lane_hint =
+    if lane_hint < 0 then begin
+      Fmt.epr "--lane-hint must be >= 0@.";
+      exit 2
+    end;
+    if lane_hint > 1 && workload <> W_p2p && workload <> W_p2p_simplified
+    then begin
+      Fmt.epr "--lane-hint needs a p2p flavor workload@.";
+      exit 2
+    end;
     let g, declared, wspecs =
-      build_workload workload ~accounts ~block ~seed ~theta
+      build_workload
+        ~lanes_hint:(max 1 lane_hint)
+        workload ~accounts ~block ~seed ~theta
+    in
+    if lanes < 1 then begin
+      Fmt.epr "--lanes must be >= 1@.";
+      exit 2
+    end;
+    if
+      lanes > 1
+      && (executor <> E_blockstm || pipeline || cold_ns > 0 || rolling
+         || sched = `Spec_dag)
+    then begin
+      Fmt.epr
+        "--lanes needs the blockstm executor and does not compose with \
+         --pipeline, --cold-read-ns, --rolling or --sched spec-dag@.";
+      exit 2
+    end;
+    let lane_specs =
+      if lanes = 1 then None
+      else
+        match wspecs with
+        | Some s -> Some s
+        | None ->
+            Fmt.epr
+              "--lanes needs a spec-capable workload (p2p, p2p-simplified, \
+               p2p-hotspot)@.";
+            exit 2
     in
     let n = Array.length g.txns in
     let spec_dag = sched = `Spec_dag in
@@ -420,6 +504,48 @@ let run_cmd =
           let r, tps = time (fun () -> Harness.run_sequential
                                 ~storage:g.storage g.txns) in
           (r.snapshot, tps)
+      | E_blockstm when lanes > 1 ->
+          let specs = Option.get lane_specs in
+          let partition =
+            Harness.account_partition ~num_accounts:accounts ~lanes
+          in
+          let traces =
+            Option.map
+              (fun _ ->
+                Array.init lanes (fun _ ->
+                    Blockstm_obs.Trace.create
+                      ~num_workers:(max 1 (domains / lanes)) ()))
+              trace_out
+          in
+          let r, tps =
+            time (fun () ->
+                Harness.run_lanes ~config ~mode:lane_mode
+                  ?trace_for:
+                    (Option.map (fun ts l -> Some ts.(l)) traces)
+                  ~partition ~specs ~storage:g.storage g.txns)
+          in
+          let m = r.Harness.LanesX.metrics in
+          Fmt.pr
+            "lanes: %d lanes, %d batches, %d cross-lane txns, imbalance \
+             %.2f, per-lane txns %a@."
+            m.Harness.LanesX.lanes m.Harness.LanesX.batches
+            m.Harness.LanesX.cross_lane_txns m.Harness.LanesX.imbalance
+            Fmt.(brackets (array ~sep:semi int))
+            m.Harness.LanesX.lane_txn_counts;
+          Fmt.pr "metrics: %a@." Harness.Bstm.pp_metrics
+            m.Harness.LanesX.engine;
+          (match (traces, trace_out) with
+          | Some ts, Some path ->
+              Array.iteri
+                (fun k tr ->
+                  let p = Printf.sprintf "%s.lane%d" path k in
+                  Blockstm_obs.Trace_export.write_file tr p;
+                  Fmt.pr "trace: wrote %s (%d events, %d dropped)@." p
+                    (List.length (Blockstm_obs.Trace.events tr))
+                    (Blockstm_obs.Trace.dropped tr))
+                ts
+          | _ -> ());
+          (r.Harness.LanesX.snapshot, tps)
       | E_blockstm ->
           let trace =
             Option.map
@@ -501,7 +627,8 @@ let run_cmd =
       const action $ workload_arg $ accounts_arg $ block_arg $ seed_arg
       $ theta_arg $ executor $ domains $ suspend $ no_estimates $ rolling
       $ targeted $ deltas $ pipeline $ blocks $ store_arg $ cold_ns_arg
-      $ verify $ trace_out $ specs_flag $ sched_arg)
+      $ verify $ trace_out $ specs_flag $ sched_arg $ lanes_arg
+      $ lane_mode_arg $ lane_hint_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload with a chosen executor") term
 
@@ -579,9 +706,9 @@ let exp_cmd =
       value & opt_all string []
       & info [ "id" ] ~docv:"NAME"
           ~doc:"Experiment id (fig3..fig6, seq-overhead, aborts, ablations, \
-                gas-sharding, real, scaling, commit-latency, \
-                validation-cost, hotspot-delta, state-scale, minimove, \
-                vm-cost, sustained, micro). Repeatable; default: all.")
+                gas-sharding, lane-scaling, real, scaling, \
+                commit-latency, validation-cost, hotspot-delta, \
+                state-scale, minimove, vm-cost, sustained, micro). Repeatable; default: all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run the paper's full grid.")
@@ -601,6 +728,15 @@ let exp_cmd =
           ~doc:
             "Real domain counts swept by the $(b,scaling) experiment \
              (default 1,2,4).")
+  in
+  let lanes_grid =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "lanes" ] ~docv:"K,K,..."
+          ~doc:
+            "Lane counts swept by the $(b,lane-scaling) experiment \
+             (default 1,2,4,8).")
   in
   let mempool_rate =
     Arg.(
@@ -637,12 +773,17 @@ let exp_cmd =
             "Restrict the $(b,sustained) experiment to the speculative \
              pipeline mode (skip the baselines).")
   in
-  let action ids full json domains mempool_rate block_size block_deadline
-      speculate =
+  let action ids full json domains lanes_grid mempool_rate block_size
+      block_deadline speculate =
     (match domains with
     | Some l when List.for_all (fun d -> d >= 1) l ->
         Blockstm_bench.Experiments.set_domains_grid l
     | Some _ -> Fmt.epr "--domains entries must be >= 1; ignoring@."
+    | None -> ());
+    (match lanes_grid with
+    | Some l when List.for_all (fun k -> k >= 1) l ->
+        Blockstm_bench.Experiments.set_lanes_grid l
+    | Some _ -> Fmt.epr "--lanes entries must be >= 1; ignoring@."
     | None -> ());
     Option.iter Blockstm_bench.Experiments.set_sustained_rate mempool_rate;
     Option.iter Blockstm_bench.Experiments.set_sustained_block_size block_size;
@@ -669,8 +810,8 @@ let exp_cmd =
   in
   let term =
     Term.(
-      const action $ ids $ full $ json $ domains $ mempool_rate $ block_size
-      $ block_deadline $ speculate)
+      const action $ ids $ full $ json $ domains $ lanes_grid $ mempool_rate
+      $ block_size $ block_deadline $ speculate)
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's figures and tables")

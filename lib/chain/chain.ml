@@ -24,6 +24,7 @@ open Blockstm_kernel
 
 module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   module Bstm = Blockstm_core.Block_stm.Make (L) (V)
+  module LanesE = Blockstm_lanes.Lanes.Make (L) (V)
   module Seq = Blockstm_baselines.Sequential.Make (L) (V)
   module Store = Blockstm_storage.Memstore.Make (L) (V)
   module Mstore = Blockstm_storage.Merkle.Make (L) (V)
@@ -35,6 +36,17 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
   type executor =
     | Sequential
     | Block_stm of Bstm.config
+    | Lanes of {
+        config : Bstm.config;
+        partition : LanesE.partition;
+        mode : LanesE.mode;
+        namespace : (L.t -> string) option;
+      }
+        (** Sharded execution lanes (DESIGN.md §16): [partition.lanes]
+            independent engine instances plus the cross-lane coordinator.
+            Requires per-block access specs ([execute_block ~specs] /
+            [execute_stream ~next_specs]); [partition.lanes = 1] is
+            operationally identical to [Block_stm config]. *)
 
   (** Commitment of one block. *)
   type 'o block_commit = {
@@ -176,12 +188,43 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
         in
         t.commits <- go 0 t.commits
 
-  let run_executor ?declared_writes (t : 'o t)
+  let run_executor ?declared_writes ?specs (t : 'o t)
       (txns : (L.t, V.t, 'o) Txn.t array) =
     match t.executor with
     | Sequential ->
         let r = Seq.run ~storage:(storage_reader t) txns in
         (r.snapshot, r.outputs, None)
+    | Lanes { config; partition; mode; namespace } -> (
+        let specs =
+          match specs with
+          | Some s -> s
+          | None ->
+              invalid_arg
+                "Chain: the lanes executor needs per-block access specs"
+        in
+        match t.state with
+        | S_merkle m when t.async_flush ->
+            (* Batch deltas stream into the Merkle accumulators exactly like
+               the engine's committed-prefix flushes: the flusher stages
+               while later batches execute, the base tier stays untouched
+               until [commit_staged]. *)
+            let fl = Mstore.start_flusher m in
+            let r =
+              LanesE.run ~config ~mode ?loc_namespace:namespace ~partition
+                ~specs
+                ~on_flush:(fun batch -> Mstore.flusher_push fl batch)
+                ~storage:(Mstore.reader m) txns
+            in
+            Mstore.stop_flusher fl;
+            Mstore.commit_staged m;
+            (r.LanesE.snapshot, r.LanesE.outputs, Some r.LanesE.metrics.engine)
+        | _ ->
+            let r =
+              LanesE.run ~config ~mode ?loc_namespace:namespace ~partition
+                ~specs ~storage:(storage_reader t) txns
+            in
+            (r.LanesE.snapshot, r.LanesE.outputs, Some r.LanesE.metrics.engine)
+        )
     | Block_stm config -> (
         match t.state with
         | S_merkle m when t.async_flush && config.rolling_commit ->
@@ -210,9 +253,11 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
 
   (** Execute and commit one block. Returns the commit record; the chain
       state advances to the block's post-state. *)
-  let execute_block ?declared_writes (t : 'o t)
+  let execute_block ?declared_writes ?specs (t : 'o t)
       (txns : (L.t, V.t, 'o) Txn.t array) : 'o block_commit =
-    let snapshot, outputs, metrics = run_executor ?declared_writes t txns in
+    let snapshot, outputs, metrics =
+      run_executor ?declared_writes ?specs t txns
+    in
     apply_state_delta t snapshot;
     t.height <- t.height + 1;
     let commit =
@@ -398,8 +443,14 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       executor's [num_domains] is the stream's total worker budget (one
       domain speculates on the next block while the rest finish the current
       one — with [num_domains = 1] speculation degenerates to per-block
-      timing). *)
+      timing).
+
+      [next_specs], called once right after each successful [next], yields
+      the block's access specs — required by the [Lanes] executor
+      ([`Per_block] and [`Pipelined] only; [`Speculative] needs the
+      single-instance rolling commit stream). *)
   let execute_stream ?(mode : stream_mode = `Per_block) ?on_block ?queue_depth
+      ?(next_specs : (unit -> L.t Access_spec.t array option) option)
       (t : 'o t) ~(next : unit -> (L.t, V.t, 'o) Txn.t array option) :
       'o block_commit list * stream_stats =
     let reg = Metrics.create ~max_domains:1 () in
@@ -425,6 +476,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
       | Some _, Some d -> Metrics.observe h_depth (d ())
       | _ -> ());
       b
+    in
+    let fetch_specs () =
+      match next_specs with None -> None | Some f -> f ()
     in
     let finish_stream () =
       Metrics.add c_idle !idle_ns;
@@ -469,7 +523,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           match fetch () with
           | None -> finish_stream ()
           | Some txns ->
-              emit (execute_block t txns);
+              emit (execute_block ?specs:(fetch_specs ()) t txns);
               go ()
         in
         go ()
@@ -487,7 +541,9 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                   Dworker.stop dw;
                   finish_stream ()
               | Some txns ->
-                  let snapshot, outputs, metrics = run_executor t txns in
+                  let snapshot, outputs, metrics =
+                    run_executor ?specs:(fetch_specs ()) t txns
+                  in
                   resolve ();
                   Store.apply_delta flat snapshot;
                   t.height <- t.height + 1;
@@ -538,7 +594,34 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
                             ~storage:(Mstore.reader m) txns
                         in
                         (r.Bstm.snapshot, r.Bstm.outputs, Some r.Bstm.metrics)
-                    | _ -> run_executor t txns
+                    | Lanes { config; partition; mode; namespace }
+                      when t.async_flush ->
+                        (* Same staging stream as above, fed by the lane
+                           coordinator's per-batch deltas: FIFO on the
+                           digest worker keeps root(h-1) ahead of block
+                           h's staging jobs. *)
+                        let specs =
+                          match fetch_specs () with
+                          | Some s -> s
+                          | None ->
+                              invalid_arg
+                                "Chain: the lanes executor needs per-block \
+                                 access specs"
+                        in
+                        let r =
+                          LanesE.run ~config ~mode ?loc_namespace:namespace
+                            ~partition ~specs
+                            ~on_flush:(fun batch ->
+                              Dworker.push dw (fun () ->
+                                  Array.iter
+                                    (fun (l, v) -> Mstore.stage m l (Some v))
+                                    batch))
+                            ~storage:(Mstore.reader m) txns
+                        in
+                        ( r.LanesE.snapshot,
+                          r.LanesE.outputs,
+                          Some r.LanesE.metrics.engine )
+                    | _ -> run_executor ?specs:(fetch_specs ()) t txns
                   in
                   (* Root(h-1) ran before this block's staging jobs (FIFO)
                      and overlapped its execution; after the drain both are
@@ -570,7 +653,7 @@ module Make (L : Intf.LOCATION) (V : Intf.VALUE) = struct
           | Block_stm _ ->
               invalid_arg
                 "Chain.execute_stream: `Speculative requires rolling_commit"
-          | Sequential ->
+          | Sequential | Lanes _ ->
               invalid_arg
                 "Chain.execute_stream: `Speculative requires a Block_stm \
                  executor"

@@ -15,6 +15,7 @@ module Prof = Blockstm_baselines.Profile.Make (Loc) (Value)
 module Cost_model = Blockstm_simexec.Cost_model
 module Virtual_exec = Blockstm_simexec.Virtual_exec
 module Dag_sim = Blockstm_simexec.Dag_sim
+module LanesX = Blockstm_lanes.Lanes.Make (Loc) (Value)
 
 type snapshot = (Loc.t * Value.t) list
 
@@ -171,3 +172,168 @@ let sim_litm_makespan ?(cost = Cost_model.default) ~num_threads ~storage
       0.0 r.LitmX.round_sizes
   in
   (time, r)
+
+(* --- Sharded execution lanes (DESIGN.md §16) ---------------------------- *)
+
+(** Contiguous account-range partition over the {!Ledger} location space:
+    the flat-workload default for sharded execution lanes. *)
+let account_partition ~num_accounts ~lanes : LanesX.partition =
+  { LanesX.lanes; loc_lane = Ledger.loc_lane ~num_accounts ~lanes }
+
+(** Run the block through [partition.lanes] parallel engine instances under
+    the lane coordinator; [partition.lanes = 1] is the unmodified paper
+    engine. Results are bit-identical to {!run_blockstm} either way. *)
+let run_lanes ?config ?mode ?declared_writes ?on_commit ?obs ?trace_for
+    ~partition ~specs ~storage txns =
+  LanesX.run ?config ?mode ?declared_writes ~loc_namespace:Loc.namespace
+    ?on_commit ?obs ?trace_for ~partition ~specs
+    ~storage:(Store.reader storage) txns
+
+(** Virtual-time lane execution result (the lane analogue of
+    {!sim_blockstm}'s [result * stats]). *)
+type sim_lanes_result = {
+  sl_snapshot : snapshot;
+  sl_outputs : int Blockstm_kernel.Txn.output array;
+  sl_makespan_us : float;
+  sl_batches : int;
+  sl_cross_lane_txns : int;
+  sl_imbalance : float;
+}
+
+(** Simulate sharded-lane execution under virtual time: [num_threads]
+    virtual threads split evenly across each batch's non-empty lanes, every
+    lane driven by its own engine instance through {!Virtual_exec}; a
+    batch's lane phase costs the maximum lane makespan (lanes run
+    concurrently on disjoint thread pools — waves of [num_threads] when a
+    batch has more lanes than threads), and parked cross-lane stragglers
+    then execute sequentially at their profiled VM cost. Deterministic, and
+    the snapshot/outputs are checked-able against {!sim_blockstm} /
+    {!run_sequential} — the identity the lane-scaling experiment asserts at
+    every grid point. *)
+let sim_lanes ?(config = Bstm.default_config) ?(mode = LanesX.Park)
+    ?(cost = Cost_model.default) ~num_threads ~(partition : LanesX.partition)
+    ~specs ~storage txns : sim_lanes_result =
+  let module LT = Hashtbl.Make (Loc) in
+  let n = Array.length txns in
+  if Array.length specs <> n then
+    invalid_arg "Harness.sim_lanes: specs length mismatch";
+  if num_threads < 1 then
+    invalid_arg "Harness.sim_lanes: num_threads must be >= 1";
+  let pl = LanesX.plan ~mode ~namespace:Loc.namespace partition specs in
+  let lane_cfg =
+    { (LanesX.lane_config config ~lanes:partition.lanes) with
+      Bstm.num_domains = 1 }
+  in
+  let overlay : Value.t LT.t = LT.create 1024 in
+  let base = Store.reader storage in
+  let read_overlay loc =
+    match LT.find_opt overlay loc with Some v -> Some v | None -> base loc
+  in
+  let outputs : int Blockstm_kernel.Txn.output option array =
+    Array.make n None
+  in
+  let makespan = ref 0.0 in
+  let subset arr idxs = Array.map (fun i -> arr.(i)) idxs in
+  let sim_lane idxs ~threads : float =
+    let inst =
+      Bstm.create_instance ~config:lane_cfg ~specs:(subset specs idxs)
+        ~loc_namespace:Loc.namespace ~storage:read_overlay (subset txns idxs)
+    in
+    let engine =
+      {
+        Virtual_exec.start = Bstm.start_task inst;
+        finish = Bstm.finish_task inst;
+        profile = Bstm.pending_profile;
+        next_task = (fun () -> Bstm.next_task inst);
+        is_done = (fun () -> Bstm.is_done inst);
+      }
+    in
+    let stats = Virtual_exec.run ~num_threads:threads ~cost engine in
+    let r = Bstm.finalize inst in
+    List.iter (fun (l, v) -> LT.replace overlay l v) r.Bstm.snapshot;
+    Array.iteri (fun j o -> outputs.(idxs.(j)) <- Some o) r.Bstm.outputs;
+    stats.Virtual_exec.makespan_us
+  in
+  let exec_straggler i : float =
+    let buffered : Value.t LT.t = LT.create 8 in
+    let reads = ref 0 in
+    let read loc =
+      incr reads;
+      match LT.find_opt buffered loc with
+      | Some v -> Some v
+      | None -> read_overlay loc
+    in
+    let write loc v = LT.replace buffered loc v in
+    let delta =
+      Blockstm_kernel.Txn.rmw_delta ~read ~write ~as_counter:Value.as_counter
+        ~of_counter:Value.of_counter
+    in
+    let writes = ref 0 in
+    (match txns.(i) { Blockstm_kernel.Txn.read; write; delta } with
+    | o ->
+        writes := LT.length buffered;
+        LT.iter (fun l v -> LT.replace overlay l v) buffered;
+        outputs.(i) <- Some (Blockstm_kernel.Txn.Success o)
+    | exception e ->
+        outputs.(i) <-
+          Some (Blockstm_kernel.Txn.Failed (Printexc.to_string e)));
+    Cost_model.exec_cost cost ~reads:!reads ~writes:!writes
+  in
+  List.iter
+    (fun (b : LanesX.batch) ->
+      let jobs =
+        List.filter
+          (fun idxs -> Array.length idxs > 0)
+          (Array.to_list b.LanesX.lane_txns)
+      in
+      (* Waves of at most [num_threads] concurrent lanes; each wave's cost
+         is its slowest lane. *)
+      let rec waves = function
+        | [] -> ()
+        | jobs ->
+            let rec take k = function
+              | x :: rest when k > 0 ->
+                  let a, b = take (k - 1) rest in
+                  (x :: a, b)
+              | rest -> ([], rest)
+            in
+            let wave, rest = take num_threads jobs in
+            let threads = max 1 (num_threads / List.length wave) in
+            let phase =
+              List.fold_left
+                (fun acc idxs -> Float.max acc (sim_lane idxs ~threads))
+                0.0 wave
+            in
+            makespan := !makespan +. phase;
+            waves rest
+      in
+      waves jobs;
+      Array.iter
+        (fun i -> makespan := !makespan +. exec_straggler i)
+        b.LanesX.stragglers)
+    pl.LanesX.batches;
+  let outputs =
+    Array.mapi
+      (fun j -> function
+        | Some o -> o
+        | None -> Fmt.failwith "Harness.sim_lanes: txn %d has no output" j)
+      outputs
+  in
+  let sl_snapshot =
+    LT.fold (fun l v acc -> (l, v) :: acc) overlay []
+    |> List.sort (fun (a, _) (b, _) -> Loc.compare a b)
+  in
+  {
+    sl_snapshot;
+    sl_outputs = outputs;
+    sl_makespan_us = !makespan;
+    sl_batches = List.length pl.LanesX.batches;
+    sl_cross_lane_txns = pl.LanesX.cross_lane_txns;
+    sl_imbalance =
+      (let counts = pl.LanesX.lane_txn_counts in
+       let total = Array.fold_left ( + ) 0 counts in
+       if total = 0 then 0.
+       else
+         float_of_int (Array.fold_left max 0 counts)
+         *. float_of_int partition.LanesX.lanes /. float_of_int total);
+  }

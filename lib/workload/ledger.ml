@@ -140,6 +140,22 @@ let global g = Loc.Global g
 (** Number of distinct global configuration entries installed in genesis. *)
 let n_globals = 16
 
+(** Contiguous account-range lane of an account: the canonical flat-state
+    partition for sharded execution lanes (DESIGN.md §16). Accounts
+    [\[k*n/K, (k+1)*n/K)] map to lane [k]. *)
+let account_lane ~num_accounts ~lanes acct =
+  if lanes < 1 then invalid_arg "Ledger.account_lane: lanes must be >= 1";
+  if acct < 0 || acct >= num_accounts then
+    invalid_arg "Ledger.account_lane: account out of range";
+  min (lanes - 1) (acct * lanes / num_accounts)
+
+(** Lane of a location under the account-range partition. Global entries are
+    read-only in every workload here, so their lane never matters for
+    correctness; they go to lane 0. *)
+let loc_lane ~num_accounts ~lanes = function
+  | Loc.Global _ -> 0
+  | Loc.Account { acct; _ } -> account_lane ~num_accounts ~lanes acct
+
 let default_initial_balance = 1_000_000_000
 
 (** Genesis state: [num_accounts] funded accounts plus the global

@@ -37,6 +37,17 @@ type spec = {
   work : int;
       (** Artificial per-transaction compute (spin iterations), to emulate
           VM interpretation cost in real-execution mode. 0 = none. *)
+  lanes_hint : int;
+      (** Lane-skew knob (DESIGN.md §16): when [> 1], accounts are treated
+          as [lanes_hint] contiguous ranges and each transfer stays inside
+          one range unless the [cross_fraction] coin says otherwise. [1]
+          (default) reproduces the unconstrained draw bit-for-bit. *)
+  cross_fraction : float;
+      (** Probability a transfer straddles two lanes (requires
+          [lanes_hint > 1]). *)
+  lane_skew : float;
+      (** Zipf theta over lane choice: [0.] = uniform lanes, larger values
+          pile transfers onto the first lanes (imbalance stress). *)
 }
 
 let default_spec =
@@ -47,7 +58,51 @@ let default_spec =
     seed = 42;
     amount_max = 100;
     work = 0;
+    lanes_hint = 1;
+    cross_fraction = 0.;
+    lane_skew = 0.;
   }
+
+(** Lane of an account under [spec]'s contiguous-range partition. *)
+let lane_of_account (spec : spec) acct =
+  Ledger.account_lane ~num_accounts:spec.num_accounts
+    ~lanes:(max 1 spec.lanes_hint) acct
+
+let validate_lane_knobs ~fn (spec : spec) =
+  if spec.lanes_hint < 1 then
+    Fmt.invalid_arg "P2p.%s: lanes_hint must be >= 1" fn;
+  if spec.cross_fraction < 0. || spec.cross_fraction > 1. then
+    Fmt.invalid_arg "P2p.%s: cross_fraction must be in [0, 1]" fn;
+  if spec.cross_fraction > 0. && spec.lanes_hint < 2 then
+    Fmt.invalid_arg "P2p.%s: cross_fraction requires lanes_hint > 1" fn;
+  if spec.lanes_hint > 1 && spec.num_accounts < 2 * spec.lanes_hint then
+    Fmt.invalid_arg "P2p.%s: need >= 2 accounts per lane" fn
+
+(* One laned transfer pair: pick a (possibly skewed) lane, keep the pair
+   inside it, or — with probability [cross_fraction] — span two distinct
+   lanes. Only reached when [lanes_hint > 1], so the default spec's RNG
+   stream is untouched. *)
+let draw_laned_pair rng (spec : spec) : int * int =
+  let k = spec.lanes_hint in
+  let lo l = l * spec.num_accounts / k in
+  let size l = lo (l + 1) - lo l in
+  let pick_lane () =
+    if spec.lane_skew > 0. then Rng.zipf rng ~n:k ~theta:spec.lane_skew
+    else Rng.int rng k
+  in
+  if spec.cross_fraction > 0. && Rng.float rng < spec.cross_fraction then begin
+    let l1 = pick_lane () in
+    let l2 = ref (pick_lane ()) in
+    while !l2 = l1 do
+      l2 := pick_lane ()
+    done;
+    (lo l1 + Rng.int rng (size l1), lo !l2 + Rng.int rng (size !l2))
+  end
+  else begin
+    let l = pick_lane () in
+    let s, r = Rng.distinct_pair rng (size l) in
+    (lo l + s, lo l + r)
+  end
 
 type transfer = { sender : int; recipient : int; amount : int; exp_seqno : int }
 
@@ -316,11 +371,15 @@ let generate (spec : spec) : t =
   if spec.num_accounts < 2 then
     invalid_arg "P2p.generate: need at least 2 accounts";
   if spec.amount_max < 1 then invalid_arg "P2p.generate: amount_max >= 1";
+  validate_lane_knobs ~fn:"generate" spec;
   let rng = Rng.create spec.seed in
   let next_seqno = Array.make spec.num_accounts 0 in
   let transfers =
     Array.init spec.block_size (fun _ ->
-        let sender, recipient = Rng.distinct_pair rng spec.num_accounts in
+        let sender, recipient =
+          if spec.lanes_hint > 1 then draw_laned_pair rng spec
+          else Rng.distinct_pair rng spec.num_accounts
+        in
         let amount = 1 + Rng.int rng spec.amount_max in
         let exp_seqno = next_seqno.(sender) in
         next_seqno.(sender) <- exp_seqno + 1;
@@ -351,6 +410,7 @@ let generate_stream (spec : spec) ~(nblocks : int) : t list =
   if spec.amount_max < 1 then
     invalid_arg "P2p.generate_stream: amount_max >= 1";
   if nblocks < 1 then invalid_arg "P2p.generate_stream: nblocks >= 1";
+  validate_lane_knobs ~fn:"generate_stream" spec;
   let rng = Rng.create spec.seed in
   let next_seqno = Array.make spec.num_accounts 0 in
   let storage = genesis ~num_accounts:spec.num_accounts () in
@@ -362,7 +422,10 @@ let generate_stream (spec : spec) ~(nblocks : int) : t list =
   List.init nblocks (fun _ ->
       let transfers =
         Array.init spec.block_size (fun _ ->
-            let sender, recipient = Rng.distinct_pair rng spec.num_accounts in
+            let sender, recipient =
+              if spec.lanes_hint > 1 then draw_laned_pair rng spec
+              else Rng.distinct_pair rng spec.num_accounts
+            in
             let amount = 1 + Rng.int rng spec.amount_max in
             let exp_seqno = next_seqno.(sender) in
             next_seqno.(sender) <- exp_seqno + 1;

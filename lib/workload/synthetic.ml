@@ -168,6 +168,29 @@ let gas ~block_size ~shards ~seed : generated =
           [| balance i; balance (gas_acct i) |]);
   }
 
+(** Static access specs for {!gas}: every entry exact (the footprint is
+    fully determined by the transaction index), so the block is perfectly
+    lane-partitionable along the gas shards. *)
+let gas_specs ~block_size ~shards : Loc.t Access_spec.t array =
+  if shards < 1 then invalid_arg "Synthetic.gas_specs: shards must be >= 1";
+  let e l = Access_spec.Exact l in
+  Array.init block_size (fun i ->
+      let locs = [ e (balance i); e (balance (block_size + (i mod shards))) ] in
+      { Access_spec.reads = locs; writes = locs })
+
+(** Lane of a location for the {!gas} workload: transaction [i]'s own
+    account and its gas shard land in the same lane ([i mod shards], folded
+    onto [lanes]), so with [lanes <= shards] every transaction is
+    single-lane. *)
+let gas_lane ~block_size ~shards ~lanes : Loc.t -> int =
+  if lanes < 1 then invalid_arg "Synthetic.gas_lane: lanes must be >= 1";
+  fun loc ->
+    match loc with
+    | Loc.Global _ -> 0
+    | Loc.Account { acct; _ } ->
+        if acct >= block_size then (acct - block_size) mod lanes
+        else acct mod shards mod lanes
+
 (** Write-set churn: each transaction writes a location chosen by the value
     it reads, so consecutive incarnations write {e different} locations —
     exercising the [wrote_new_location] path and ESTIMATE cleanup. *)

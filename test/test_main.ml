@@ -24,4 +24,5 @@ let () =
       ("properties", Test_props.suite);
       ("vm_diff", Test_vm_diff.suite);
       ("access", Test_access.suite);
+      ("lanes", Test_lanes.suite);
     ]

@@ -267,4 +267,56 @@ if [ "$sspec" -ge "$sopt" ]; then
 fi
 echo "ci: spec-skip gate passed ($sskips validations skipped; $sspec validations < optimistic's $sopt)"
 
+# --- Execution-lane gates ---------------------------------------------------
+# Sharded execution lanes (DESIGN.md §16). Three checks:
+#   - identity sweep, unconditional: the lane-scaling experiment asserts
+#     (and Fmt.failwiths on divergence) that every (workload, lanes,
+#     threads) grid point commits a snapshot and outputs bit-identical to
+#     the single-instance engine, and the CLI runs below re-check commits
+#     against sequential on real domains for both coordinator modes;
+#   - virtual-time headline, unconditional (deterministic on any host): on
+#     the contended-but-partitionable p2p-hot workload, 8 lanes at 8
+#     virtual threads must hold >= 1.5x single-instance throughput;
+#   - real-domain perf smoke, gated on >= 8 cores (or BLOCKSTM_LANES_GATE=1
+#     to force): on a lane-partitionable p2p block (--lane-hint 2), 2 lanes
+#     over 8 domains must not fall below 1.3x the single instance. On
+#     smaller hosts lanes cannot physically beat one instance, so the
+#     comparison is report-only.
+out=$(dune exec bench/main.exe -- lane-scaling)
+printf '%s
+' "$out"
+lane_speedup=$(printf '%s
+' "$out"   | awk '$1=="p2p-hot" && $2=="8" && $3=="8" {sub(/x$/,"",$5); print $5}')
+if [ -z "$lane_speedup" ]; then
+  echo "ci: FAIL — lane-scaling did not report the p2p-hot 8-lane/8-thread row"
+  exit 1
+fi
+if ! awk "BEGIN{exit !($lane_speedup >= 1.5)}"; then
+  echo "ci: FAIL — 8 lanes at 8 threads only ${lane_speedup}x the single instance on p2p-hot (need >= 1.5x, virtual time)"
+  exit 1
+fi
+echo "ci: lane identity sweep + virtual headline passed (p2p-hot 8 lanes @ 8 threads: ${lane_speedup}x)"
+dune exec bin/blockstm_cli.exe -- run -w p2p -a 1000 -b 1000 -d 4   --lanes 2 --verify >/dev/null
+dune exec bin/blockstm_cli.exe -- run -w p2p -a 1000 -b 1000 -d 4   --lanes 4 --lane-mode barrier --verify >/dev/null
+dune exec bin/blockstm_cli.exe -- run -w p2p-hotspot -a 100 -b 500 -d 4   --lanes 2 --deltas --verify >/dev/null
+echo "ci: lane CLI identity passed (park/barrier/deltas commits match sequential)"
+ltps() {
+  dune exec bin/blockstm_cli.exe -- run -w p2p -a 1024 -b 4000 -d 8     --seed 42 --lane-hint 2 "$@"     | sed -n 's/^executed .*: \([0-9]*\) tps.*/\1/p'
+}
+lane_single=$(ltps)
+lane_two=$(ltps --lanes 2)
+if [ -z "$lane_single" ] || [ -z "$lane_two" ]; then
+  echo "ci: FAIL — could not parse wall-clock tps from the lane smoke runs"
+  exit 1
+fi
+if [ "$cores" -ge 8 ] || [ "${BLOCKSTM_LANES_GATE:-0}" = "1" ]; then
+  if [ "$lane_two" -lt $((lane_single * 13 / 10)) ]; then
+    echo "ci: FAIL — 2 lanes ($lane_two tps) < 1.3x single instance ($lane_single tps) on lane-partitionable p2p at 8 domains"
+    exit 1
+  fi
+  echo "ci: lane perf smoke passed (2 lanes $lane_two tps >= 1.3x single $lane_single tps)"
+else
+  echo "ci: lane perf smoke report-only on $cores core(s): single $lane_single tps, 2 lanes $lane_two tps"
+fi
+
 echo "ci: all checks passed"
